@@ -1,0 +1,22 @@
+"""Extension: per-call ADAPTIVE power policy vs the paper's static
+schemes on a mixed-size alltoall workload."""
+
+from repro.bench import extension_adaptive_policy
+
+
+def test_extension_adaptive_policy(report):
+    headers, rows = report(
+        "ext_adaptive_policy",
+        "Extension - adaptive per-call policy (mixed-size alltoalls)",
+        extension_adaptive_policy,
+    )
+    by_scheme = {r[0]: r for r in rows}
+    # Adaptive lands at (or below) the best static energy.
+    best_static = min(
+        by_scheme["No-Power"][2],
+        by_scheme["Freq-Scaling"][2],
+        by_scheme["Proposed"][2],
+    )
+    assert by_scheme["Adaptive"][2] <= best_static * 1.02
+    # And it throttles only for the calls that deserve it.
+    assert 0 < by_scheme["Adaptive"][3] <= by_scheme["Proposed"][3]

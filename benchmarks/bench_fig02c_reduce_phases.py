@@ -1,0 +1,15 @@
+"""Figure 2(c): Reduce overall time vs network-phase time, 64 processes."""
+
+from repro.bench import fig2c_reduce_phases
+
+
+def test_fig02c_reduce_phases(report):
+    headers, rows = report(
+        "fig02c_reduce_phases",
+        "Fig 2(c) - Reduce overall vs network phase (64 procs)",
+        fig2c_reduce_phases,
+    )
+    # Network phase is a substantial share across the 4B-4K sweep.
+    for row in rows:
+        assert row[2] > 0  # network phase observed
+        assert row[3] > 0.3

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Message-size study of the power-aware alltoall (paper Figs 7a/7b).
+
+Sweeps 16 KB - 1 MB under the three schemes, printing the latency table
+and a sampled power timeline for the largest size — the two panels of
+Figure 7.  Also demonstrates direct access to the power meter.
+
+Run:  python examples/alltoall_power_study.py
+"""
+
+from repro import (
+    CollectiveConfig,
+    CollectiveEngine,
+    MpiJob,
+    PowerMeter,
+    PowerMode,
+)
+from repro.bench import bytes_label
+
+SIZES = (16 << 10, 64 << 10, 256 << 10, 1 << 20)
+
+
+def run_once(nbytes: int, mode: PowerMode, iterations: int = 1):
+    engine = CollectiveEngine(CollectiveConfig(power_mode=mode))
+    job = MpiJob(64, collectives=engine)
+
+    def program(ctx):
+        for _ in range(iterations):
+            yield from ctx.alltoall(nbytes)
+
+    return job.run(program)
+
+
+def latency_sweep() -> None:
+    print("-- Fig 7(a): latency (us) --")
+    print(f"{'size':>6s} {'no-power':>12s} {'freq-scaling':>13s} {'proposed':>12s}")
+    for nbytes in SIZES:
+        row = [
+            run_once(nbytes, mode).duration_s * 1e6
+            for mode in (PowerMode.NONE, PowerMode.DVFS, PowerMode.PROPOSED)
+        ]
+        print(
+            f"{bytes_label(nbytes):>6s} {row[0]:12.1f} {row[1]:13.1f} {row[2]:12.1f}"
+        )
+
+
+def power_timeline() -> None:
+    print("\n-- Fig 7(b): sampled power during an 8-iteration 1MB loop --")
+    meter = PowerMeter(interval_s=0.25)
+    traces = {}
+    for mode in PowerMode:
+        result = run_once(1 << 20, mode, iterations=8)
+        traces[mode] = meter.sample(result.accountant)
+    n = min(len(t) for t in traces.values())
+    print(f"{'t (s)':>6s} {'no-power':>10s} {'freq':>8s} {'proposed':>10s}")
+    for i in range(n):
+        print(
+            f"{traces[PowerMode.NONE].times_s[i]:6.2f} "
+            f"{traces[PowerMode.NONE].power_kw[i]:8.2f}kW "
+            f"{traces[PowerMode.DVFS].power_kw[i]:6.2f}kW "
+            f"{traces[PowerMode.PROPOSED].power_kw[i]:8.2f}kW"
+        )
+
+
+if __name__ == "__main__":
+    latency_sweep()
+    power_timeline()

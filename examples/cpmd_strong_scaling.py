@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""CPMD strong-scaling study (paper Fig 9 + Table I).
+
+Runs the three CPMD datasets at 32 and 64 ranks under the three power
+schemes and prints execution time, alltoall time and total energy —
+reproducing the paper's headline application result (~8% energy saving
+on ta-inp-md at 64 processes with 2-5% slowdown).
+
+Run:  python examples/cpmd_strong_scaling.py        (all datasets, ~3 min)
+      python examples/cpmd_strong_scaling.py wat1   (one dataset)
+"""
+
+import sys
+
+from repro.apps import CPMD_TA_INP_MD, CPMD_WAT32_INP1, CPMD_WAT32_INP2, run_app
+from repro.collectives import PowerMode
+
+DATASETS = {
+    "wat1": CPMD_WAT32_INP1,
+    "wat2": CPMD_WAT32_INP2,
+    "ta": CPMD_TA_INP_MD,
+}
+
+
+def main(selected) -> None:
+    apps = [DATASETS[s] for s in selected] if selected else list(DATASETS.values())
+    print(
+        f"{'dataset':18s} {'procs':>5s} {'scheme':>13s} "
+        f"{'total':>9s} {'alltoall':>9s} {'energy':>10s}"
+    )
+    for app in apps:
+        baseline = {}
+        for n_ranks in (32, 64):
+            for mode in PowerMode:
+                r = run_app(app, n_ranks, mode)
+                if mode is PowerMode.NONE:
+                    baseline[n_ranks] = r.energy_kj
+                saving = 1.0 - r.energy_kj / baseline[n_ranks]
+                print(
+                    f"{app.name:18s} {n_ranks:5d} {mode.value:>13s} "
+                    f"{r.total_time_s:8.2f}s {r.alltoall_time_s:8.2f}s "
+                    f"{r.energy_kj:8.2f}kJ"
+                    + (f"  (-{saving:.1%})" if mode is not PowerMode.NONE else "")
+                )
+    print(
+        "\nExpected shape (paper §VII-F): runtime halves from 32 to 64 ranks,"
+        "\nalltoall time changes little, and the proposed scheme saves up to"
+        "\n~8% energy at a 2-5% runtime cost."
+    )
+
+
+if __name__ == "__main__":
+    unknown = [a for a in sys.argv[1:] if a not in DATASETS]
+    if unknown:
+        raise SystemExit(f"unknown dataset(s) {unknown}; choose from {list(DATASETS)}")
+    main(sys.argv[1:])

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: run one power-aware MPI_Alltoall on the paper's testbed.
+
+Builds the 8-node / 64-core InfiniBand QDR cluster, runs a 1 MB
+MPI_Alltoall under each of the paper's three schemes, and prints latency,
+average power and energy — the Fig 7 comparison in five lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CollectiveConfig,
+    CollectiveEngine,
+    MpiJob,
+    PowerMode,
+)
+
+
+def program(ctx):
+    """The rank program: every rank takes part in one 1 MB alltoall."""
+    yield from ctx.alltoall(1 << 20)
+
+
+def main() -> None:
+    print(f"{'scheme':14s} {'latency':>12s} {'avg power':>11s} {'energy':>9s}")
+    for mode in PowerMode:
+        engine = CollectiveEngine(CollectiveConfig(power_mode=mode))
+        job = MpiJob(n_ranks=64, collectives=engine)
+        result = job.run(program)
+        print(
+            f"{mode.value:14s} {result.duration_s * 1e3:9.2f} ms "
+            f"{result.average_power_w / 1e3:8.2f} kW "
+            f"{result.energy_j:7.1f} J"
+        )
+    print(
+        "\nExpected shape (paper Fig 7): the power-aware schemes cost ~10% "
+        "latency\nwhile cutting power from ~2.3 kW to ~1.8 kW (DVFS) and "
+        "~1.6 kW (proposed)."
+    )
+
+
+if __name__ == "__main__":
+    main()

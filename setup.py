@@ -1,0 +1,6 @@
+"""Shim so `pip install -e . --no-use-pep517` works on offline boxes
+without the `wheel` package (PEP 660 editable installs need it)."""
+
+from setuptools import setup
+
+setup()

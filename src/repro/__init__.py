@@ -1,0 +1,59 @@
+"""repro — reproduction of "Designing Power-Aware Collective Communication
+Algorithms for InfiniBand Clusters" (Kandalla et al., ICPP 2010).
+
+The package simulates an InfiniBand multi-core cluster (discrete-event),
+implements the paper's default and power-aware collective algorithms, its
+analytical performance/power models, and the NAS/CPMD application workloads
+used in the evaluation.
+
+Quick start::
+
+    from repro import MpiJob, CollectiveConfig, CollectiveEngine, PowerMode
+
+    job = MpiJob(64, collectives=CollectiveEngine(
+        CollectiveConfig(power_mode=PowerMode.PROPOSED)))
+
+    def program(ctx):
+        yield from ctx.alltoall(1 << 20)
+
+    result = job.run(program)
+    print(result.duration_s, result.energy_kj)
+"""
+
+from .cluster import (
+    AffinityPolicy,
+    Cluster,
+    ClusterSpec,
+    CpuSpec,
+    NodeSpec,
+    ThrottleGranularity,
+)
+from .collectives import CollectiveConfig, CollectiveEngine, PowerMode
+from .mpi import JobResult, MpiJob, ProgressMode, RankContext, run_collective_once
+from .network import NetworkSpec
+from .power import EnergyAccountant, PowerMeter, PowerModel, PowerModelParams
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AffinityPolicy",
+    "Cluster",
+    "ClusterSpec",
+    "CollectiveConfig",
+    "CollectiveEngine",
+    "CpuSpec",
+    "EnergyAccountant",
+    "JobResult",
+    "MpiJob",
+    "NetworkSpec",
+    "NodeSpec",
+    "PowerMeter",
+    "PowerMode",
+    "PowerModel",
+    "PowerModelParams",
+    "ProgressMode",
+    "RankContext",
+    "ThrottleGranularity",
+    "run_collective_once",
+    "__version__",
+]

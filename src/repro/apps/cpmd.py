@@ -1,0 +1,69 @@
+"""CPMD skeletons — plane-wave DFT ab-initio molecular dynamics (paper
+§VII-F, Fig 9, Table I).
+
+CPMD's communication is dominated by the MPI_Alltoall transposes of its
+3-D FFTs (several per MD step), with small allreduces (energies) and
+broadcasts (wavefunction metadata) alongside.  Three datasets from the
+paper, with per-rank-count profiles whose *default-mode* runs land on the
+operating points implied by Table I at the calibrated system draw
+(1.15 kW for 32 ranks / 4 nodes, 2.30 kW for 64 ranks / 8 nodes):
+
+================  ======= 32 ranks =======  ======= 64 ranks =======
+dataset           runtime   alltoall share   runtime   alltoall share
+wat-32-inp-1      ≈24.8 s   ≈16 %            ≈13.8 s   ≈27 %
+wat-32-inp-2      ≈28.5 s   ≈15 %            ≈16.8 s   ≈5 %
+ta-inp-md         ≈231 s    ≈9 %             ≈132 s    ≈29 %
+================  =========================  =========================
+
+Note the paper's own observation (§VII-F): runtime halves from 32→64
+processes but alltoall time changes little — the smaller per-pair
+messages are increasingly step/latency bound.
+"""
+
+from __future__ import annotations
+
+from .base import AppSpec, CollectiveCall, RankProfile
+
+
+def _variant(ranks, iterations, sim_iterations, compute_s, a2a_bytes, a2a_calls=4):
+    return RankProfile(
+        ranks=ranks,
+        iterations=iterations,
+        sim_iterations=sim_iterations,
+        compute_per_iter_s=compute_s,
+        calls_per_iter=(
+            CollectiveCall("alltoall", a2a_bytes, count=a2a_calls),  # FFT transposes
+            CollectiveCall("allreduce", 8192),                       # energies
+            CollectiveCall("bcast", 4096),                           # MD metadata
+        ),
+    )
+
+
+#: 32-water-molecule box, input set 1 (10 MD steps).
+CPMD_WAT32_INP1 = AppSpec(
+    name="cpmd.wat-32-inp-1",
+    variants={
+        32: _variant(32, 10, 4, compute_s=2.075, a2a_bytes=1_129_472),
+        64: _variant(64, 10, 4, compute_s=1.014, a2a_bytes=456_704),
+    },
+)
+
+#: 32-water-molecule box, input set 2 (10 MD steps, more orbitals).
+CPMD_WAT32_INP2 = AppSpec(
+    name="cpmd.wat-32-inp-2",
+    variants={
+        32: _variant(32, 10, 4, compute_s=2.410, a2a_bytes=1_242_112),
+        64: _variant(64, 10, 4, compute_s=1.590, a2a_bytes=108_544),
+    },
+)
+
+#: Tantalum MD dataset (50 MD steps — the paper's largest run).
+CPMD_TA_INP_MD = AppSpec(
+    name="cpmd.ta-inp-md",
+    variants={
+        32: _variant(32, 50, 4, compute_s=4.20, a2a_bytes=1_174_528),
+        64: _variant(64, 50, 4, compute_s=1.89, a2a_bytes=934_912),
+    },
+)
+
+CPMD_DATASETS = (CPMD_WAT32_INP1, CPMD_WAT32_INP2, CPMD_TA_INP_MD)

@@ -1,0 +1,210 @@
+"""First-principles NAS kernel generators.
+
+The shipped :data:`~repro.apps.nas_ft.NAS_FT` / :data:`~repro.apps.nas_is.
+NAS_IS` profiles are *calibrated* to land exactly on the paper's Table II
+operating points.  These generators instead derive profiles from the NAS
+problem-class definitions (grid sizes, key counts, iteration counts), so
+any class at any rank count can be synthesised — the "workload generator"
+path for studies beyond the paper's class C runs.
+
+Communication volumes are exact (the transpose and key-exchange volumes
+follow from the algorithm); computation time uses an effective per-core
+throughput that folds in memory stalls (calibrated so class C at 64 ranks
+lands near the paper's runtime).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .base import AppSpec, CollectiveCall, RankProfile
+
+#: NAS FT grids (nx, ny, nz) and iteration counts per class.
+FT_CLASSES: Dict[str, Tuple[Tuple[int, int, int], int]] = {
+    "S": ((64, 64, 64), 6),
+    "W": ((128, 128, 32), 6),
+    "A": ((256, 256, 128), 6),
+    "B": ((512, 256, 256), 20),
+    "C": ((512, 512, 512), 20),
+    "D": ((2048, 1024, 1024), 25),
+}
+
+#: NAS IS total keys and iteration counts per class.
+IS_CLASSES: Dict[str, Tuple[int, int]] = {
+    "S": (1 << 16, 10),
+    "W": (1 << 20, 10),
+    "A": (1 << 23, 10),
+    "B": (1 << 25, 10),
+    "C": (1 << 27, 10),
+    "D": (1 << 31, 10),
+}
+
+#: Bytes per FT grid point (complex double).
+_COMPLEX_BYTES = 16
+#: Bytes per IS key.
+_KEY_BYTES = 4
+
+#: Effective per-core FFT throughput at fmax (flop/s), memory stalls
+#: included; calibrated so FT class C at 64 ranks runs ≈7.5 s (Table II).
+DEFAULT_FLOP_RATE = 1.0e9
+#: Effective per-core key-processing rate (keys/s) for IS.
+DEFAULT_KEY_RATE = 6.0e7
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """Summary of a generated kernel (exposed for tests/inspection)."""
+
+    name: str
+    total_bytes: int
+    iterations: int
+    alltoall_per_pair: int
+    compute_per_iter_s: float
+
+
+def synthesize_ft(
+    klass: str,
+    n_ranks: int,
+    sim_iterations: int = 4,
+    flop_rate: float = DEFAULT_FLOP_RATE,
+) -> AppSpec:
+    """Synthesise an FT benchmark of problem class ``klass``.
+
+    Per iteration: the distributed 3-D FFT's transpose is one
+    MPI_Alltoall moving the whole grid — per-pair size V/P² — plus
+    5·N·log₂N flops of FFT work split across ranks, plus the checksum
+    allreduce.
+    """
+    shape = ft_shape(klass, n_ranks, flop_rate)
+    (nx, ny, nz), iterations = FT_CLASSES[klass.upper()]
+    profile = RankProfile(
+        ranks=n_ranks,
+        iterations=iterations,
+        sim_iterations=min(sim_iterations, iterations),
+        compute_per_iter_s=shape.compute_per_iter_s,
+        calls_per_iter=(
+            CollectiveCall("alltoall", shape.alltoall_per_pair),
+            CollectiveCall("allreduce", 64),
+        ),
+    )
+    return AppSpec(name=shape.name, variants={n_ranks: profile})
+
+
+def ft_shape(klass: str, n_ranks: int, flop_rate: float = DEFAULT_FLOP_RATE) -> KernelShape:
+    """Derived FT sizes for ``klass`` at ``n_ranks`` (see synthesize_ft)."""
+    try:
+        (nx, ny, nz), iterations = FT_CLASSES[klass.upper()]
+    except KeyError:
+        raise ValueError(f"unknown FT class {klass!r} (know {sorted(FT_CLASSES)})") from None
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    points = nx * ny * nz
+    volume = points * _COMPLEX_BYTES
+    per_pair = max(1, volume // (n_ranks * n_ranks))
+    flops_per_iter = 5.0 * points * math.log2(points)
+    compute = flops_per_iter / (n_ranks * flop_rate)
+    return KernelShape(
+        name=f"nas-ft.{klass.upper()}x{n_ranks}",
+        total_bytes=volume,
+        iterations=iterations,
+        alltoall_per_pair=per_pair,
+        compute_per_iter_s=compute,
+    )
+
+
+def synthesize_is(
+    klass: str,
+    n_ranks: int,
+    sim_iterations: int = 5,
+    key_rate: float = DEFAULT_KEY_RATE,
+) -> AppSpec:
+    """Synthesise an IS benchmark of problem class ``klass``.
+
+    Per ranking iteration: a small alltoall of bucket counts, the big
+    skewed alltoallv redistributing the keys (per-pair ≈ keys·4/P²), and
+    the verification allreduce; counting/permutation work ≈ a few ops per
+    key, split across ranks.
+    """
+    shape = is_shape(klass, n_ranks, key_rate)
+    _, iterations = IS_CLASSES[klass.upper()]
+    profile = RankProfile(
+        ranks=n_ranks,
+        iterations=iterations,
+        sim_iterations=min(sim_iterations, iterations),
+        compute_per_iter_s=shape.compute_per_iter_s,
+        calls_per_iter=(
+            CollectiveCall("alltoall", 1024),
+            CollectiveCall("alltoallv", shape.alltoall_per_pair, skew=0.15),
+            CollectiveCall("allreduce", 2048),
+        ),
+    )
+    return AppSpec(name=shape.name, variants={n_ranks: profile})
+
+
+#: NAS CG matrix sizes (rows) and iteration counts per class.
+CG_CLASSES: Dict[str, Tuple[int, int]] = {
+    "S": (1400, 15),
+    "A": (14000, 15),
+    "B": (75000, 75),
+    "C": (150000, 75),
+    "D": (1500000, 100),
+}
+
+
+def synthesize_cg(
+    klass: str,
+    n_ranks: int,
+    sim_iterations: int = 4,
+    flop_rate: float = DEFAULT_FLOP_RATE,
+) -> AppSpec:
+    """Synthesise a CG benchmark — the *negative control* for the paper's
+    approach: CG's communication is many small allreduces (dot products)
+    and modest halo exchanges, not large alltoalls, so the power-aware
+    collectives find little to throttle (the schemes should be ≈neutral).
+    """
+    try:
+        rows, iterations = CG_CLASSES[klass.upper()]
+    except KeyError:
+        raise ValueError(f"unknown CG class {klass!r} (know {sorted(CG_CLASSES)})") from None
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    # ~25 inner CG steps per outer iteration; each has two 8-byte-per-row
+    # partial-vector allreduces across sqrt(P) groups — modelled as small
+    # allreduces — plus the sparse matvec compute (~2·nnz, nnz ≈ 11·rows).
+    # Sparse matvec is memory-latency bound: ~5% of dense throughput.
+    nnz = 11 * rows
+    compute = 25 * 2.0 * nnz / (n_ranks * flop_rate * 0.05)
+    vector_block = max(1, rows * 8 // max(1, int(math.sqrt(n_ranks))))
+    profile = RankProfile(
+        ranks=n_ranks,
+        iterations=iterations,
+        sim_iterations=min(sim_iterations, iterations),
+        compute_per_iter_s=compute,
+        calls_per_iter=(
+            CollectiveCall("allreduce", 8, count=50),     # dot products
+            CollectiveCall("allgather", vector_block),    # vector assembly
+        ),
+    )
+    return AppSpec(name=f"nas-cg.{klass.upper()}x{n_ranks}", variants={n_ranks: profile})
+
+
+def is_shape(klass: str, n_ranks: int, key_rate: float = DEFAULT_KEY_RATE) -> KernelShape:
+    """Derived IS sizes for ``klass`` at ``n_ranks`` (see synthesize_is)."""
+    try:
+        keys, iterations = IS_CLASSES[klass.upper()]
+    except KeyError:
+        raise ValueError(f"unknown IS class {klass!r} (know {sorted(IS_CLASSES)})") from None
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    volume = keys * _KEY_BYTES
+    per_pair = max(1, volume // (n_ranks * n_ranks))
+    compute = keys / (n_ranks * key_rate)
+    return KernelShape(
+        name=f"nas-is.{klass.upper()}x{n_ranks}",
+        total_bytes=volume,
+        iterations=iterations,
+        alltoall_per_pair=per_pair,
+        compute_per_iter_s=compute,
+    )

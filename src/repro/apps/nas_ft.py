@@ -1,0 +1,49 @@
+"""NAS FT (class C) skeleton — 3-D FFT benchmark (paper §VII-G, Fig 10a,
+Table II).
+
+Structure: each iteration performs the distributed FFT's transpose
+(MPI_Alltoall of the local grid partition) plus local FFT computation and
+a tiny checksum allreduce.  Per-rank-count alltoall sizes and compute
+times are profile values chosen so the *default-mode* simulation lands on
+the paper's measured operating points:
+
+* total runtime ≈ 14.2 s at 32 ranks, ≈ 7.4 s at 64 (strong scaling; the
+  times are those implied by Table II's 16.36 / 17.06 kJ at the calibrated
+  1.15 / 2.30 kW system draw),
+* ≈ 19 % of runtime inside MPI_Alltoall (the fraction implied by the
+  Freq-Scaling / Proposed rows of Table II).
+"""
+
+from __future__ import annotations
+
+from .base import AppSpec, CollectiveCall, RankProfile
+
+#: Class C runs 20 iterations.
+_ITERATIONS = 20
+_SIM_ITERATIONS = 4
+
+NAS_FT = AppSpec(
+    name="nas-ft.C",
+    variants={
+        32: RankProfile(
+            ranks=32,
+            iterations=_ITERATIONS,
+            sim_iterations=_SIM_ITERATIONS,
+            compute_per_iter_s=0.575,
+            calls_per_iter=(
+                CollectiveCall("alltoall", 1_577_984),  # transpose
+                CollectiveCall("allreduce", 64),        # checksum
+            ),
+        ),
+        64: RankProfile(
+            ranks=64,
+            iterations=_ITERATIONS,
+            sim_iterations=_SIM_ITERATIONS,
+            compute_per_iter_s=0.299,
+            calls_per_iter=(
+                CollectiveCall("alltoall", 357_376),
+                CollectiveCall("allreduce", 64),
+            ),
+        ),
+    },
+)

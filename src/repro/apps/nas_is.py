@@ -1,0 +1,48 @@
+"""NAS IS (class C) skeleton — parallel integer bucket sort (paper §VII-G,
+Fig 10b, Table II).
+
+Structure per iteration: small MPI_Alltoall of bucket counts, the large
+skewed MPI_Alltoallv of keys, and an MPI_Allreduce for verification.
+IS is the most communication-bound of the paper's applications — Table II
+implies ≈26–31 % of runtime in alltoall(v), which is why it shows the
+paper's headline ≈8 % energy saving.
+
+Operating points implied by Table II (3.41 / 3.85 kJ): ≈ 3.0 s at 32
+ranks, ≈ 1.7 s at 64.
+"""
+
+from __future__ import annotations
+
+from .base import AppSpec, CollectiveCall, RankProfile
+
+#: Class C runs 10 ranking iterations.
+_ITERATIONS = 10
+_SIM_ITERATIONS = 5
+
+NAS_IS = AppSpec(
+    name="nas-is.C",
+    variants={
+        32: RankProfile(
+            ranks=32,
+            iterations=_ITERATIONS,
+            sim_iterations=_SIM_ITERATIONS,
+            compute_per_iter_s=0.219,
+            calls_per_iter=(
+                CollectiveCall("alltoall", 1024),                 # bucket sizes
+                CollectiveCall("alltoallv", 906_240, skew=0.15),  # keys
+                CollectiveCall("allreduce", 2048),                # verification
+            ),
+        ),
+        64: RankProfile(
+            ranks=64,
+            iterations=_ITERATIONS,
+            sim_iterations=_SIM_ITERATIONS,
+            compute_per_iter_s=0.112,
+            calls_per_iter=(
+                CollectiveCall("alltoall", 1024),
+                CollectiveCall("alltoallv", 261_120, skew=0.15),
+                CollectiveCall("allreduce", 2048),
+            ),
+        ),
+    },
+)

@@ -1,0 +1,121 @@
+"""Terminal plotting: ASCII line charts for the figure reproductions.
+
+No matplotlib on the cluster — these render each figure's series as a
+monospace chart (log-x for message-size sweeps, linear for power
+timelines), good enough to eyeball the crossovers the paper's figures
+show.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+#: Glyphs assigned to successive series.
+SERIES_GLYPHS = "*o+x#@"
+
+
+def _scale(value: float, lo: float, hi: float, n: int) -> int:
+    """Map value in [lo, hi] to a cell index in [0, n-1]."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(n - 1, max(0, int(round(frac * (n - 1)))))
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Sequence[Sequence[float]],
+    labels: Optional[Sequence[str]] = None,
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more series over a shared x axis.
+
+    Points are plotted with one glyph per series; collisions show the
+    later series' glyph.  Returns a multi-line string.
+    """
+    if not x:
+        raise ValueError("need at least one x value")
+    for ys in series:
+        if len(ys) != len(x):
+            raise ValueError("series length must match x")
+    if logx and any(v <= 0 for v in x):
+        raise ValueError("logx requires positive x values")
+    flat = [v for ys in series for v in ys]
+    if logy and any(v <= 0 for v in flat):
+        raise ValueError("logy requires positive y values")
+
+    fx = [math.log10(v) for v in x] if logx else list(x)
+    fy = [[math.log10(v) for v in ys] if logy else list(ys) for ys in series]
+    x_lo, x_hi = min(fx), max(fx)
+    y_flat = [v for ys in fy for v in ys]
+    y_lo, y_hi = min(y_flat), max(y_flat)
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, ys in enumerate(fy):
+        glyph = SERIES_GLYPHS[si % len(SERIES_GLYPHS)]
+        for xi, yi in zip(fx, ys):
+            col = _scale(xi, x_lo, x_hi, width)
+            row = height - 1 - _scale(yi, y_lo, y_hi, height)
+            grid[row][col] = glyph
+
+    y_max_label = f"{max(flat):.3g}"
+    y_min_label = f"{min(flat):.3g}"
+    margin = max(len(y_max_label), len(y_min_label))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_max_label.rjust(margin)
+        elif r == height - 1:
+            label = y_min_label.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_min_label = f"{min(x):.3g}"
+    x_max_label = f"{max(x):.3g}"
+    gap = width - len(x_min_label) - len(x_max_label)
+    lines.append(" " * (margin + 2) + x_min_label + " " * max(1, gap) + x_max_label)
+    if labels:
+        legend = "   ".join(
+            f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+            for i, name in enumerate(labels)
+        )
+        lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)
+
+
+def chart_from_rows(
+    rows: Sequence[Sequence],
+    y_columns: Sequence[int],
+    labels: Optional[Sequence[str]] = None,
+    x_column: int = 0,
+    x_parser=None,
+    **kwargs,
+) -> str:
+    """Chart directly from experiment rows (as produced by repro.bench).
+
+    ``x_parser`` converts the x column (e.g. "64K" labels) to numbers;
+    defaults to float() with a K/M suffix parser fallback.
+    """
+
+    def default_parser(v):
+        if isinstance(v, (int, float)):
+            return float(v)
+        text = str(v).strip().upper()
+        if text.endswith("K"):
+            return float(text[:-1]) * 1024
+        if text.endswith("M"):
+            return float(text[:-1]) * 1024 * 1024
+        return float(text)
+
+    parser = x_parser or default_parser
+    x = [parser(row[x_column]) for row in rows]
+    series = [[float(row[c]) for row in rows] for c in y_columns]
+    return ascii_chart(x, series, labels=labels, **kwargs)

@@ -1,0 +1,107 @@
+"""Regression guard: compare fresh experiment results against committed
+baselines.
+
+The simulator is deterministic, so results only change when the model
+changes.  Baselines (``benchmarks/expected/*.json``, written by
+:func:`repro.bench.export.save_json`) pin the reproduction down: a model
+tweak that silently moves a figure off the paper's shape fails the
+benchmark suite instead of shipping.
+
+Numeric cells must match the baseline within ``rel_tol`` (default 25 % —
+wide enough for intentional re-calibrations to be updated deliberately,
+tight enough to catch broken physics); non-numeric cells must match
+exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List, Sequence
+
+from .export import load_json
+
+DEFAULT_REL_TOL = 0.25
+
+
+class RegressionError(AssertionError):
+    """A fresh result diverged from its committed baseline."""
+
+
+def compare_rows(
+    expected_rows: Sequence[Sequence],
+    actual_rows: Sequence[Sequence],
+    rel_tol: float = DEFAULT_REL_TOL,
+) -> List[str]:
+    """Return a list of human-readable mismatches (empty = pass)."""
+    problems: List[str] = []
+    if len(expected_rows) != len(actual_rows):
+        return [
+            f"row count changed: {len(expected_rows)} -> {len(actual_rows)}"
+        ]
+    for i, (exp, act) in enumerate(zip(expected_rows, actual_rows)):
+        if len(exp) != len(act):
+            problems.append(f"row {i}: width {len(exp)} -> {len(act)}")
+            continue
+        for j, (e, a) in enumerate(zip(exp, act)):
+            if isinstance(e, (int, float)) and isinstance(a, (int, float)) \
+                    and not isinstance(e, bool):
+                if e == 0:
+                    ok = abs(a) < 1e-9 or abs(a) <= rel_tol
+                else:
+                    ok = math.isclose(float(e), float(a), rel_tol=rel_tol)
+                if not ok:
+                    problems.append(
+                        f"row {i} col {j}: expected ~{e}, got {a}"
+                    )
+            elif str(e) != str(a):
+                problems.append(f"row {i} col {j}: {e!r} -> {a!r}")
+    return problems
+
+
+def check_against_baseline(
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    expected_dir: str,
+    rel_tol: float = DEFAULT_REL_TOL,
+) -> bool:
+    """Compare a fresh result with ``expected_dir/<name>.json``.
+
+    Returns False when no baseline exists (nothing to compare); raises
+    :class:`RegressionError` on divergence.
+    """
+    path = os.path.join(expected_dir, f"{name}.json")
+    if not os.path.exists(path):
+        return False
+    baseline = load_json(path)
+    if list(baseline["headers"]) != list(headers):
+        raise RegressionError(
+            f"{name}: headers changed {baseline['headers']} -> {list(headers)}"
+            " (refresh the baseline deliberately if intended)"
+        )
+    problems = compare_rows(baseline["rows"], rows, rel_tol=rel_tol)
+    if problems:
+        raise RegressionError(
+            f"{name}: diverged from baseline {path}:\n  " + "\n  ".join(problems)
+        )
+    return True
+
+
+def refresh_baselines(results_dir: str, expected_dir: str) -> Dict[str, str]:
+    """Copy every ``results/*.json`` into the baseline directory.
+
+    Run this deliberately after an intended model change; returns the
+    mapping of experiment name → baseline path.
+    """
+    os.makedirs(expected_dir, exist_ok=True)
+    written = {}
+    for fname in sorted(os.listdir(results_dir)):
+        if not fname.endswith(".json"):
+            continue
+        record = load_json(os.path.join(results_dir, fname))
+        dst = os.path.join(expected_dir, fname)
+        with open(os.path.join(results_dir, fname)) as src, open(dst, "w") as out:
+            out.write(src.read())
+        written[record["experiment"]] = dst
+    return written

@@ -1,0 +1,66 @@
+"""Plain-text table/series formatting for experiment output.
+
+No plotting dependencies: every figure is reproduced as the series of
+points the paper plots, every table as rows, in monospace text.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_experiment(title: str, headers: Sequence[str], rows, notes: str = "") -> str:
+    """Full experiment block: banner, table, optional notes."""
+    out = [f"== {title} ==", format_table(headers, rows)]
+    if notes:
+        out.append(notes)
+    return "\n".join(out) + "\n"
+
+
+def save_report(name: str, text: str, results_dir: str = "results") -> str:
+    """Write an experiment report under ``results/`` (created on demand)."""
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path
+
+
+def bytes_label(n: int) -> str:
+    """1024 → "1K", 1048576 → "1M" (the paper's axis labels)."""
+    if n >= 1 << 20 and n % (1 << 20) == 0:
+        return f"{n >> 20}M"
+    if n >= 1 << 10 and n % (1 << 10) == 0:
+        return f"{n >> 10}K"
+    return str(n)

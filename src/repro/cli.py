@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``info``
+    Print the simulated testbed and calibration summary.
+``osu``
+    Run a simulated OSU microbenchmark (latency / bw / bibw / collectives).
+``app``
+    Run one of the paper's application workloads under a power scheme.
+``experiment``
+    Run any paper figure/table experiment and print its series.
+``experiments``
+    List the available experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import bench
+from .apps import CPMD_TA_INP_MD, CPMD_WAT32_INP1, CPMD_WAT32_INP2, NAS_FT, NAS_IS, run_app
+from .bench.report import bytes_label, format_table, render_experiment
+from .cluster.specs import ClusterSpec
+from .collectives.registry import PowerMode
+from .microbench import osu
+from .mpi.p2p import ProgressMode
+from .power.model import PowerModel
+
+APPS = {
+    "nas-ft": NAS_FT,
+    "nas-is": NAS_IS,
+    "cpmd-wat1": CPMD_WAT32_INP1,
+    "cpmd-wat2": CPMD_WAT32_INP2,
+    "cpmd-ta": CPMD_TA_INP_MD,
+}
+
+EXPERIMENTS = {
+    "fig2a": bench.fig2a_alltoall_scaling,
+    "fig2b": bench.fig2b_bcast_phases,
+    "fig2c": bench.fig2c_reduce_phases,
+    "fig6a": bench.fig6a_polling_vs_blocking,
+    "fig6b": bench.fig6b_power_timeline,
+    "fig7a": bench.fig7a_alltoall_latency,
+    "fig7b": bench.fig7b_alltoall_power,
+    "fig8a": bench.fig8a_bcast_latency,
+    "fig8b": bench.fig8b_bcast_power,
+    "fig9": bench.fig9_cpmd_performance,
+    "fig10": bench.fig10_nas_performance,
+    "table1": bench.table1_cpmd_energy,
+    "table2": bench.table2_nas_energy,
+    "models": bench.models_validation,
+    "alltoallv": bench.alltoallv_power,
+    "ablation-granularity": bench.ablation_throttle_granularity,
+    "ablation-overheads": bench.ablation_transition_overheads,
+    "ablation-fmin": bench.ablation_fmin_sweep,
+    "ablation-scaling": bench.ablation_cluster_scaling,
+    "ext-racks": bench.extension_rack_topology,
+    "ext-adaptive": bench.extension_adaptive_policy,
+}
+
+
+def _parse_size(text: str) -> int:
+    """'4', '16K', '1M' → bytes."""
+    text = text.strip().upper()
+    factor = 1
+    if text.endswith("K"):
+        factor, text = 1 << 10, text[:-1]
+    elif text.endswith("M"):
+        factor, text = 1 << 20, text[:-1]
+    return int(text) * factor
+
+
+def _power_mode(name: str) -> PowerMode:
+    return PowerMode(name)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power-aware collective communication (ICPP 2010) simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print testbed + calibration summary")
+    sub.add_parser("experiments", help="list available experiments")
+    sub.add_parser("validate", help="sanity-check the default configuration")
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--json", metavar="DIR", default=None,
+                       help="also write results/<name>.json under DIR")
+
+    p_osu = sub.add_parser("osu", help="run a simulated OSU microbenchmark")
+    p_osu.add_argument(
+        "bench",
+        choices=["latency", "bw", "bibw", "alltoall", "bcast", "reduce",
+                 "allreduce", "allgather"],
+    )
+    p_osu.add_argument("--size", type=_parse_size, default=None,
+                       help="single message size (e.g. 64K); default: ladder")
+    p_osu.add_argument("--ranks", type=int, default=64)
+    p_osu.add_argument("--mode", choices=[m.value for m in PowerMode],
+                       default="none")
+    p_osu.add_argument("--blocking", action="store_true",
+                       help="use blocking progression (default: polling)")
+    p_osu.add_argument("--intra-node", action="store_true",
+                       help="p2p benchmarks: use a same-node pair")
+
+    p_app = sub.add_parser("app", help="run an application workload")
+    p_app.add_argument("name", choices=sorted(APPS))
+    p_app.add_argument("--ranks", type=int, default=64, choices=[32, 64])
+    p_app.add_argument("--mode", choices=[m.value for m in PowerMode],
+                       default="none")
+    return parser
+
+
+def cmd_info(out) -> int:
+    spec = ClusterSpec.paper_testbed()
+    model = PowerModel()
+    rows = [
+        ("nodes", spec.nodes),
+        ("sockets/node", spec.node.sockets),
+        ("cores/socket", spec.node.cpu.cores_per_socket),
+        ("total cores", spec.total_cores),
+        ("fmin..fmax (GHz)", f"{spec.node.cpu.fmin}..{spec.node.cpu.fmax}"),
+        ("T-states", "T0..T7 (12% active at T7)"),
+        ("Odvfs/Othrottle (us)", spec.node.cpu.dvfs_latency_s * 1e6),
+        ("core power @fmax (W)", model.full_core_power(spec.node.cpu.fmax)),
+        ("core power @fmin (W)", model.full_core_power(spec.node.cpu.fmin)),
+        ("node base power (W)", model.params.node_base_w),
+        ("system @fmax polling (kW)", 2.3),
+    ]
+    print(format_table(["property", "value"], rows), file=out)
+    return 0
+
+
+def cmd_experiment(name: str, out, json_dir=None) -> int:
+    headers, rows, notes = EXPERIMENTS[name]()
+    print(render_experiment(name, headers, rows, notes), file=out)
+    if json_dir is not None:
+        from .bench import save_json
+
+        path = save_json(name, headers, rows, notes, results_dir=json_dir)
+        print(f"wrote {path}", file=out)
+    return 0
+
+
+def cmd_osu(args, out) -> int:
+    progress = ProgressMode.BLOCKING if args.blocking else ProgressMode.POLLING
+    sizes = [args.size] if args.size is not None else list(osu.DEFAULT_SIZES[2:9])
+    mode = _power_mode(args.mode)
+    rows = []
+    if args.bench == "latency":
+        for nbytes in sizes:
+            t = osu.osu_latency(nbytes, inter_node=not args.intra_node,
+                                progress=progress)
+            rows.append((bytes_label(nbytes), t * 1e6))
+        headers = ["Size", "Latency (us)"]
+    elif args.bench in ("bw", "bibw"):
+        fn = osu.osu_bw if args.bench == "bw" else osu.osu_bibw
+        for nbytes in sizes:
+            bw = fn(nbytes, inter_node=not args.intra_node)
+            rows.append((bytes_label(nbytes), bw / 1e9))
+        headers = ["Size", "Bandwidth (GB/s)"]
+    else:
+        for nbytes in sizes:
+            t = osu.osu_collective_latency(
+                args.bench, nbytes, n_ranks=args.ranks, mode=mode,
+                progress=progress, iterations=3, warmup=1,
+            )
+            rows.append((bytes_label(nbytes), t * 1e6))
+        headers = ["Size", "Avg latency (us)"]
+    title = f"osu_{args.bench} ({args.ranks} ranks, {args.mode}, {progress.value})"
+    print(render_experiment(title, headers, rows), file=out)
+    return 0
+
+
+def cmd_app(args, out) -> int:
+    result = run_app(APPS[args.name], args.ranks, _power_mode(args.mode))
+    rows = [
+        ("total time (s)", result.total_time_s),
+        ("alltoall time (s)", result.alltoall_time_s),
+        ("alltoall fraction", result.alltoall_fraction),
+        ("energy (kJ)", result.energy_kj),
+        ("avg power (kW)", result.sim.average_power_w / 1e3),
+    ]
+    title = f"{result.app} @ {args.ranks} ranks, scheme={args.mode}"
+    print(render_experiment(title, ["metric", "value"], rows), file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return cmd_info(out)
+    if args.command == "experiments":
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:22s} {EXPERIMENTS[name].__doc__.splitlines()[0]}", file=out)
+        return 0
+    if args.command == "validate":
+        from .validate import is_valid, validate_configuration
+
+        findings = validate_configuration()
+        for finding in findings:
+            print(finding, file=out)
+        ok = is_valid(findings)
+        print("configuration OK" if ok else "configuration INVALID", file=out)
+        return 0 if ok else 1
+    if args.command == "experiment":
+        return cmd_experiment(args.name, out, json_dir=args.json)
+    if args.command == "osu":
+        return cmd_osu(args, out)
+    if args.command == "app":
+        return cmd_app(args, out)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

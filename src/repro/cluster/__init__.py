@@ -1,0 +1,34 @@
+"""Cluster hardware model: nodes, sockets, cores, P/T-states, affinity."""
+
+from .affinity import AffinityMap, AffinityPolicy
+from .cpu import Activity, Core, Socket, ThrottleDomain
+from .specs import (
+    ClusterSpec,
+    CpuSpec,
+    DEFAULT_PSTATES,
+    NodeSpec,
+    NUM_TSTATES,
+    T7_ACTIVITY,
+    ThrottleGranularity,
+    tstate_duty,
+)
+from .topology import Cluster, Node
+
+__all__ = [
+    "Activity",
+    "AffinityMap",
+    "AffinityPolicy",
+    "Cluster",
+    "ClusterSpec",
+    "Core",
+    "CpuSpec",
+    "DEFAULT_PSTATES",
+    "Node",
+    "NodeSpec",
+    "NUM_TSTATES",
+    "Socket",
+    "T7_ACTIVITY",
+    "ThrottleDomain",
+    "ThrottleGranularity",
+    "tstate_duty",
+]

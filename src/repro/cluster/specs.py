@@ -1,0 +1,160 @@
+"""Hardware specification dataclasses for the simulated cluster.
+
+Defaults replicate the paper's testbed (§VII-A): eight nodes, each with two
+Intel "Nehalem" sockets of four cores, core frequencies 1.6–2.4 GHz, eight
+CPU throttling levels T0–T7 (T0 = 100 % active, T7 = 12 % active, §II-C),
+and P-/T-state transition overheads of 10–15 µs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class ThrottleGranularity(enum.Enum):
+    """How fine the architecture can apply T-states.
+
+    The paper's Nehalem testbed only supports SOCKET granularity (§V-B);
+    CORE granularity models the "future architectures" the paper argues
+    would throttle only non-leader cores.
+    """
+
+    SOCKET = "socket"
+    CORE = "core"
+
+
+#: Nehalem-like available core frequencies in GHz (P-states), ascending.
+DEFAULT_PSTATES: Tuple[float, ...] = (1.60, 1.73, 1.86, 2.00, 2.13, 2.26, 2.40)
+
+#: Number of throttling levels T0..T7.
+NUM_TSTATES = 8
+
+#: Fraction of cycles the CPU is active in T7 (paper §II-C: "only 12 %").
+T7_ACTIVITY = 0.12
+
+
+def tstate_duty(level: int) -> float:
+    """Duty cycle (fraction of active cycles) for throttle level ``level``.
+
+    Linear ramp from 1.0 at T0 down to :data:`T7_ACTIVITY` at T7, matching
+    the paper's description of the Nehalem T-state ladder.
+    """
+    if not 0 <= level < NUM_TSTATES:
+        raise ValueError(f"T-state must be in [0, {NUM_TSTATES - 1}], got {level}")
+    return 1.0 - (1.0 - T7_ACTIVITY) * level / (NUM_TSTATES - 1)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Per-socket CPU capabilities."""
+
+    cores_per_socket: int = 4
+    pstates_ghz: Tuple[float, ...] = DEFAULT_PSTATES
+    #: Cost of one DVFS (P-state) transition, seconds (paper: 10–15 µs).
+    dvfs_latency_s: float = 12e-6
+    #: Cost of one T-state transition, seconds.
+    throttle_latency_s: float = 12e-6
+    throttle_granularity: ThrottleGranularity = ThrottleGranularity.SOCKET
+
+    def __post_init__(self) -> None:
+        if self.cores_per_socket < 1:
+            raise ValueError("cores_per_socket must be >= 1")
+        if not self.pstates_ghz:
+            raise ValueError("at least one P-state required")
+        if tuple(sorted(self.pstates_ghz)) != tuple(self.pstates_ghz):
+            raise ValueError("pstates_ghz must be ascending")
+        if any(f <= 0 for f in self.pstates_ghz):
+            raise ValueError("frequencies must be positive")
+
+    @property
+    def fmin(self) -> float:
+        """Lowest available frequency (GHz)."""
+        return self.pstates_ghz[0]
+
+    @property
+    def fmax(self) -> float:
+        """Highest available frequency (GHz)."""
+        return self.pstates_ghz[-1]
+
+    def nearest_pstate(self, freq_ghz: float) -> float:
+        """Snap ``freq_ghz`` to the closest supported P-state."""
+        return min(self.pstates_ghz, key=lambda f: (abs(f - freq_ghz), f))
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node: ``sockets`` CPU packages sharing one InfiniBand HCA."""
+
+    sockets: int = 2
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ValueError("sockets must be >= 1")
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.sockets * self.cpu.cores_per_socket
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The whole machine: ``nodes`` identical nodes.
+
+    With ``racks == 1`` (the paper's testbed) every node hangs off one
+    non-blocking QDR switch.  With ``racks > 1`` nodes are block-divided
+    across racks, each with a leaf switch whose uplink to the spine is
+    usually oversubscribed — the setting of the paper's future-work
+    topology-aware extension (§VIII, ref [27])."""
+
+    nodes: int = 8
+    node: NodeSpec = field(default_factory=NodeSpec)
+    racks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.racks < 1:
+            raise ValueError("racks must be >= 1")
+        if self.nodes % self.racks != 0:
+            raise ValueError("nodes must divide evenly across racks")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.node.cores_per_node
+
+    @property
+    def nodes_per_rack(self) -> int:
+        return self.nodes // self.racks
+
+    def rack_of_node(self, node_id: int) -> int:
+        if not 0 <= node_id < self.nodes:
+            raise ValueError(f"node {node_id} out of range")
+        return node_id // self.nodes_per_rack
+
+    @classmethod
+    def paper_testbed(cls) -> "ClusterSpec":
+        """The exact configuration of the paper's evaluation cluster."""
+        return cls()
+
+    @classmethod
+    def with_shape(
+        cls,
+        nodes: int,
+        sockets: int = 2,
+        cores_per_socket: int = 4,
+        granularity: ThrottleGranularity = ThrottleGranularity.SOCKET,
+    ) -> "ClusterSpec":
+        """Convenience constructor for N-way experiment shapes (Fig 2a)."""
+        return cls(
+            nodes=nodes,
+            node=NodeSpec(
+                sockets=sockets,
+                cpu=CpuSpec(
+                    cores_per_socket=cores_per_socket,
+                    throttle_granularity=granularity,
+                ),
+            ),
+        )

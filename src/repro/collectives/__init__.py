@@ -1,0 +1,87 @@
+"""Collective communication algorithms — default and power-aware."""
+
+from .alltoall import bruck_alltoall, pairwise_alltoall, pairwise_alltoallv
+from .base import is_power_of_two, pairwise_partner, tag_for
+from .bcast import (
+    binomial_bcast,
+    mc_bcast,
+    scatter_allgather_bcast,
+    shm_bcast,
+)
+from .power_alltoall import (
+    power_aware_alltoall,
+    supports_power_alltoall,
+    tournament_partner,
+)
+from .power_control import T_FULL, T_LOW, T_PARTIAL, dvfs_down, dvfs_up, with_dvfs
+from .power_p2p import (
+    DEFAULT_P2P_POWER_THRESHOLD,
+    power_aware_exchange,
+    power_aware_recv,
+    power_aware_send,
+)
+from .power_shm import power_aware_mc_bcast, power_aware_mc_reduce
+from .reduce import binomial_reduce, mc_reduce, shm_reduce
+from .registry import CollectiveConfig, CollectiveEngine, PowerMode
+from .topo_aware import (
+    power_aware_topo_bcast,
+    topo_bcast,
+    topo_gather,
+    topo_reduce,
+    topo_scatter,
+)
+from .smallcolls import (
+    binomial_gather,
+    binomial_scatter,
+    dissemination_barrier,
+    linear_scan,
+    recursive_doubling_allreduce,
+    reduce_scatter_pairwise,
+    ring_allgather,
+)
+
+__all__ = [
+    "CollectiveConfig",
+    "CollectiveEngine",
+    "PowerMode",
+    "T_FULL",
+    "T_LOW",
+    "T_PARTIAL",
+    "binomial_bcast",
+    "binomial_gather",
+    "binomial_reduce",
+    "binomial_scatter",
+    "bruck_alltoall",
+    "dissemination_barrier",
+    "dvfs_down",
+    "dvfs_up",
+    "is_power_of_two",
+    "linear_scan",
+    "mc_bcast",
+    "mc_reduce",
+    "pairwise_alltoall",
+    "pairwise_alltoallv",
+    "pairwise_partner",
+    "DEFAULT_P2P_POWER_THRESHOLD",
+    "power_aware_alltoall",
+    "power_aware_exchange",
+    "power_aware_mc_bcast",
+    "power_aware_mc_reduce",
+    "power_aware_recv",
+    "power_aware_send",
+    "power_aware_topo_bcast",
+    "topo_bcast",
+    "topo_gather",
+    "topo_reduce",
+    "topo_scatter",
+    "recursive_doubling_allreduce",
+    "reduce_scatter_pairwise",
+    "ring_allgather",
+    "scatter_allgather_bcast",
+    "shm_bcast",
+    "shm_reduce",
+    "supports_power_alltoall",
+    "tag_for",
+    "tournament_partner",
+    "with_dvfs",
+]

@@ -1,0 +1,44 @@
+"""Shared helpers for collective algorithms.
+
+All algorithms are generator functions over a
+:class:`~repro.mpi.context.RankContext` and a communicator; they are SPMD:
+every member rank runs the same function and the message pattern emerges
+from rank-dependent control flow, exactly as in a real MPI library.
+
+Tag discipline: each collective invocation owns the tag block
+``seq << TAG_SHIFT``; steps within the algorithm add their step index, so
+messages from different invocations/steps can never cross-match.
+"""
+
+from __future__ import annotations
+
+TAG_SHIFT = 16
+
+
+def is_power_of_two(n: int) -> bool:
+    """True for 1, 2, 4, 8, ... (the shapes the XOR schedules need)."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def tag_for(seq: int, step: int) -> int:
+    """Tag for ``step`` of the ``seq``-th collective on a communicator."""
+    if step < 0 or step >= (1 << TAG_SHIFT):
+        raise ValueError(f"step {step} out of tag range")
+    return (seq << TAG_SHIFT) | step
+
+
+def pairwise_partner(rank: int, size: int, step: int) -> tuple[int, int]:
+    """(send_to, recv_from) local ranks for step ``step`` of a pairwise
+    exchange.  With a power-of-two group the XOR schedule pairs processes
+    symmetrically; otherwise the shifted ring schedule is used."""
+    if is_power_of_two(size):
+        partner = rank ^ step
+        return partner, partner
+    return (rank + step) % size, (rank - step) % size
+
+
+def validate_collective_args(size: int, nbytes: int) -> None:
+    if nbytes < 0:
+        raise ValueError("message size must be >= 0")
+    if size < 1:
+        raise ValueError("communicator must have at least one rank")

@@ -1,0 +1,175 @@
+"""MPI_Bcast algorithms: binomial tree, scatter-allgather (medium/large
+inter-leader algorithm, §VI-A1) and the multi-core-aware composition of
+Fig 1 (leader network phase + shared-memory intra-node phase).
+"""
+
+from __future__ import annotations
+
+from .base import is_power_of_two, tag_for, validate_collective_args
+
+
+def binomial_bcast(ctx, nbytes: int, root: int, comm, seq: int):
+    """Classic binomial tree broadcast [23] — every process relays."""
+    size = comm.size
+    validate_collective_args(size, nbytes)
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    relative = (me - root) % size
+    # Receive once from the parent.
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = (relative - mask + root) % size
+            yield from ctx.recv(src=parent, tag=tag_for(seq, 0), comm=comm)
+            break
+        mask <<= 1
+    # Forward to children (highest mask first, like MPICH).
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < size:
+            child = (relative + mask + root) % size
+            yield from ctx.send(dst=child, nbytes=nbytes, tag=tag_for(seq, 0), comm=comm)
+        mask >>= 1
+
+
+def _scatter_for_bcast(ctx, nbytes: int, root: int, comm, seq: int):
+    """Recursive-halving scatter of the root's buffer (power-of-two only)."""
+    size = comm.size
+    me = comm.rank_of(ctx.rank)
+    relative = (me - root) % size
+    block = nbytes / size
+    mask = size >> 1
+    step = 0
+    while mask >= 1:
+        if relative % (2 * mask) == 0:
+            dst = (relative + mask + root) % size
+            yield from ctx.send(
+                dst=dst, nbytes=block * mask, tag=tag_for(seq, step), comm=comm
+            )
+        elif relative % (2 * mask) == mask:
+            src = (relative - mask + root) % size
+            yield from ctx.recv(src=src, tag=tag_for(seq, step), comm=comm)
+        mask >>= 1
+        step += 1
+
+
+def _ring_allgather(ctx, block_bytes: float, comm, seq: int, tag_offset: int = 64):
+    """Ring allgather: size−1 steps, one block per step."""
+    size = comm.size
+    me = comm.rank_of(ctx.rank)
+    right = (me + 1) % size
+    left = (me - 1) % size
+    for step in range(size - 1):
+        yield from ctx.sendrecv(
+            dst=right,
+            nbytes=block_bytes,
+            src=left,
+            tag=tag_for(seq, tag_offset + step),
+            comm=comm,
+        )
+
+
+def scatter_allgather_bcast(ctx, nbytes: int, root: int, comm, seq: int):
+    """Scatter + allgather broadcast: the MVAPICH2 medium/large-message
+    inter-leader algorithm modelled by equation (2) of the paper."""
+    size = comm.size
+    validate_collective_args(size, nbytes)
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    if is_power_of_two(size):
+        yield from _scatter_for_bcast(ctx, nbytes, root, comm, seq)
+    else:
+        # Linear scatter fallback for odd group sizes.
+        block = nbytes / size
+        if me == root:
+            for dst in range(size):
+                if dst != root:
+                    yield from ctx.send(dst=dst, nbytes=block, tag=tag_for(seq, 0), comm=comm)
+        else:
+            yield from ctx.recv(src=root, tag=tag_for(seq, 0), comm=comm)
+    yield from _ring_allgather(ctx, nbytes / size, comm, seq)
+
+
+def shm_bcast(ctx, nbytes: int, root_world: int, comm, seq: int):
+    """Intra-node phase: the leader writes the buffer to the shared region
+    and every other rank copies it out (concurrent reads sharing the node's
+    memory bandwidth)."""
+    size = comm.size
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    root = comm.rank_of(root_world)
+    if me == root:
+        requests = []
+        for dst in range(size):
+            if dst != root:
+                req = yield from ctx.isend(
+                    dst=dst, nbytes=nbytes, tag=tag_for(seq, 1), comm=comm
+                )
+                requests.append(req)
+        yield from ctx._wait(ctx.env.all_of(requests))
+    else:
+        yield from ctx.recv(src=root, tag=tag_for(seq, 1), comm=comm)
+
+
+#: Below this size the inter-leader phase uses the binomial tree (the
+#: scatter-allgather pays 2·(N−1) startups for little bandwidth gain);
+#: §VI-A1 describes scatter-allgather as the "medium and large" algorithm.
+SAG_MIN_BYTES = 8192
+
+
+def _leader_bcast(ctx, nbytes: int, root: int, comm, seq: int):
+    """Inter-leader broadcast with MVAPICH2-style size tuning."""
+    if nbytes < SAG_MIN_BYTES:
+        yield from binomial_bcast(ctx, nbytes, root, comm, seq)
+    else:
+        yield from scatter_allgather_bcast(ctx, nbytes, root, comm, seq)
+
+
+def mc_bcast(ctx, nbytes: int, root: int, comm, seq: int, record_phase: bool = True):
+    """Multi-core-aware broadcast (Fig 1): network phase among node
+    leaders, then the shared-memory intra-node phase.
+
+    Only valid on COMM_WORLD (it needs the node topology).
+    """
+    validate_collective_args(comm.size, nbytes)
+    if comm is not ctx.world:
+        raise ValueError("mc_bcast requires COMM_WORLD")
+    shared = ctx.shared_comm
+    leaders = ctx.leader_comm
+    affinity = ctx.affinity
+    root_node = affinity.node_of(root)
+    root_leader = affinity.node_leader(root_node)
+    # Sub-communicators keep their own sequence counters so these internal
+    # messages can never cross-match with user collectives on the same
+    # sub-communicator.
+    sseq = ctx.next_seq(shared)
+    lseq = ctx.next_seq(leaders) if ctx.is_node_leader() else 0
+
+    # Stage 0: get the buffer to the root's node leader if needed.
+    if root != root_leader:
+        if ctx.rank == root:
+            yield from ctx.send(
+                dst=shared.rank_of(root_leader), nbytes=nbytes,
+                tag=tag_for(sseq, 63), comm=shared,
+            )
+        elif ctx.rank == root_leader:
+            yield from ctx.recv(
+                src=shared.rank_of(root), tag=tag_for(sseq, 63), comm=shared
+            )
+
+    # Stage 1: network phase — only leaders move data; everyone else is
+    # already parked in the stage-2 receive, spinning (the power waste the
+    # paper targets in §IV-B).
+    if ctx.is_node_leader():
+        t0 = ctx.env.now
+        yield from _leader_bcast(
+            ctx, nbytes, leaders.rank_of(root_leader), leaders, lseq
+        )
+        if record_phase and leaders.rank_of(ctx.rank) == 0:
+            ctx.job.stats.add_phase("bcast.network", ctx.env.now - t0)
+
+    # Stage 2: intra-node shared-memory fan-out from each leader.
+    yield from shm_bcast(ctx, nbytes, affinity.node_leader(ctx.node_id), shared, sseq)

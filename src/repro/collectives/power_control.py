@@ -1,0 +1,35 @@
+"""Power-control building blocks shared by the power-aware algorithms.
+
+The paper's baseline "Freq-Scaling" scheme (§V, also [5], [6]) is the
+per-call DVFS wrapper: drop every core to fmin at the start of the
+collective, restore fmax at the end.  The proposed algorithms add T-state
+choreography on top.
+"""
+
+from __future__ import annotations
+
+#: T-state used for "fully throttled" groups (12 % active, §II-C).
+T_LOW = 7
+#: Partial throttle for the leader's socket in the shared-memory
+#: algorithms (§V-B / §VI-B2: "socket A to the T4 state").
+T_PARTIAL = 4
+#: Unthrottled.
+T_FULL = 0
+
+
+def dvfs_down(ctx, charge: bool = True):
+    """Scale this rank's core to fmin (one ``Odvfs``)."""
+    yield from ctx.scale_frequency(ctx.core.spec.fmin, charge=charge)
+
+
+def dvfs_up(ctx, charge: bool = True):
+    """Restore this rank's core to fmax (one ``Odvfs``)."""
+    yield from ctx.scale_frequency(ctx.core.spec.fmax, charge=charge)
+
+
+def with_dvfs(ctx, inner):
+    """Run ``inner`` (a collective generator) between a DVFS down/up pair —
+    the paper's "Freq-Scaling" comparison scheme."""
+    yield from dvfs_down(ctx)
+    yield from inner
+    yield from dvfs_up(ctx)

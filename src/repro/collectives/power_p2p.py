@@ -1,0 +1,79 @@
+"""Power-aware intra-node point-to-point — the paper's last future-work
+item (§VIII):
+
+    "since the modern architectures allow for DVFS operations to be
+    performed at the core-level granularity, it is necessary to explore
+    how intra-node point-to-point operations can be designed to conserve
+    power."
+
+A large shared-memory copy is partially memory-bound: at fmin the copy
+loses only (1−α)·(1−fmin/fmax) ≈ 13 % of its bandwidth while the two
+cores' power drops by ≈37 % — so wrapping big intra-node exchanges in a
+per-message DVFS pair is a net energy win.  Both endpoints must call the
+same wrapper (it is SPMD, like a collective over a 2-rank group).
+"""
+
+from __future__ import annotations
+
+from .power_control import dvfs_down, dvfs_up
+
+#: Below this size the 2·Odvfs cost exceeds any possible copy saving.
+DEFAULT_P2P_POWER_THRESHOLD = 256 * 1024
+
+
+def power_aware_exchange(
+    ctx,
+    partner: int,
+    nbytes: int,
+    tag: int = 0,
+    threshold: int = DEFAULT_P2P_POWER_THRESHOLD,
+):
+    """Sendrecv with ``partner`` that drops both cores to fmin for the
+    duration of a *large intra-node* transfer.
+
+    Inter-node or small messages pass straight through: the HCA does the
+    work there (its power is not CPU-gated), and small copies cannot
+    amortise the DVFS transitions.
+    """
+    same_node = ctx.affinity.same_node(ctx.rank, partner)
+    engage = same_node and nbytes >= threshold
+    if engage:
+        yield from dvfs_down(ctx)
+    result = yield from ctx.sendrecv(dst=partner, nbytes=nbytes, tag=tag)
+    if engage:
+        yield from dvfs_up(ctx)
+    return result
+
+
+def power_aware_send(ctx, dst: int, nbytes: int, tag: int = 0,
+                     threshold: int = DEFAULT_P2P_POWER_THRESHOLD):
+    """One-sided variant for the sender of a large intra-node message.
+
+    Only this rank's core is scaled (core-granular DVFS); the receiver may
+    independently use :func:`power_aware_recv`.
+    """
+    engage = ctx.affinity.same_node(ctx.rank, dst) and nbytes >= threshold
+    if engage:
+        yield from dvfs_down(ctx)
+    result = yield from ctx.send(dst=dst, nbytes=nbytes, tag=tag)
+    if engage:
+        yield from dvfs_up(ctx)
+    return result
+
+
+def power_aware_recv(ctx, src: int, nbytes_hint: int, tag: int = 0,
+                     threshold: int = DEFAULT_P2P_POWER_THRESHOLD):
+    """Receiver-side counterpart of :func:`power_aware_send`.
+
+    ``nbytes_hint`` is the expected size (MPI receives know their buffer
+    size); it decides whether scaling is worthwhile.
+    """
+    engage = (
+        ctx.affinity.same_node(ctx.rank, src) and nbytes_hint >= threshold
+    )
+    if engage:
+        yield from dvfs_down(ctx)
+    result = yield from ctx.recv(src=src, tag=tag)
+    if engage:
+        yield from dvfs_up(ctx)
+    return result

@@ -1,0 +1,140 @@
+"""Power-aware shared-memory collectives (paper §V-B, Fig 4).
+
+During the network (inter-leader) phase only one rank per node moves data;
+everyone else spins.  The proposed algorithms drop all cores to fmin for
+the call and, for the network phase, throttle:
+
+* **socket granularity** (the paper's Nehalem): socket B — where no rank
+  communicates — to T7; socket A — which hosts the leader — only to T4, to
+  avoid crippling the leader (the ``Cthrottle`` trade-off of §VI-A3);
+* **core granularity** (the paper's "future architectures"): every
+  non-leader core to T7, the leader core untouched — more savings, no
+  slowdown (§VI-B2).
+"""
+
+from __future__ import annotations
+
+from ..cluster.specs import ThrottleGranularity
+from .bcast import _leader_bcast, mc_bcast, shm_bcast
+from .power_control import T_FULL, T_LOW, T_PARTIAL, dvfs_down, dvfs_up
+from .reduce import binomial_reduce, shm_reduce
+from .base import tag_for, validate_collective_args
+
+
+def _network_phase_throttle(ctx):
+    """Apply the §V-B throttle pattern for the network phase (generator)."""
+    granularity = ctx.core.spec.throttle_granularity
+    if granularity is ThrottleGranularity.CORE:
+        if not ctx.is_node_leader():
+            yield from ctx.throttle(T_LOW)
+        return
+    # Socket granularity: the leader throttles its own socket partially;
+    # ranks on the other socket throttle it fully.  Non-leader ranks that
+    # share the leader's socket issue nothing (their package is handled by
+    # the leader's T4).
+    if ctx.is_node_leader():
+        yield from ctx.throttle(T_PARTIAL)
+    elif ctx.socket.local_index != ctx.affinity.socket_group(
+        ctx.affinity.node_leader(ctx.node_id)
+    ):
+        yield from ctx.throttle(T_LOW)
+
+
+def power_aware_mc_bcast(ctx, nbytes: int, root: int, comm, seq: int):
+    """Proposed power-aware broadcast: mc-bcast + DVFS + network-phase
+    throttling (modelled by eq. 4 / eq. 8)."""
+    validate_collective_args(comm.size, nbytes)
+    if comm is not ctx.world:
+        raise ValueError("power-aware mc_bcast requires COMM_WORLD")
+    shared = ctx.shared_comm
+    leaders = ctx.leader_comm
+    affinity = ctx.affinity
+    root_node = affinity.node_of(root)
+    root_leader = affinity.node_leader(root_node)
+    # Sub-communicators use their own sequence counters (see mc_bcast).
+    sseq = ctx.next_seq(shared)
+    lseq = ctx.next_seq(leaders) if ctx.is_node_leader() else 0
+    net_done = f"bc{seq}.netdone"
+
+    yield from dvfs_down(ctx)
+
+    # Stage 0: hop to the root's node leader if needed (before throttling).
+    if root != root_leader:
+        if ctx.rank == root:
+            yield from ctx.send(
+                dst=shared.rank_of(root_leader), nbytes=nbytes,
+                tag=tag_for(sseq, 63), comm=shared,
+            )
+        elif ctx.rank == root_leader:
+            yield from ctx.recv(
+                src=shared.rank_of(root), tag=tag_for(sseq, 63), comm=shared
+            )
+
+    # Network phase under throttle.
+    yield from _network_phase_throttle(ctx)
+    if ctx.is_node_leader():
+        t0 = ctx.env.now
+        yield from _leader_bcast(
+            ctx, nbytes, leaders.rank_of(root_leader), leaders, lseq
+        )
+        if leaders.rank_of(ctx.rank) == 0:
+            ctx.job.stats.add_phase("bcast.network", ctx.env.now - t0)
+        ctx.notify(net_done)
+        yield from ctx.throttle(T_FULL)
+    else:
+        yield ctx.flag(net_done)
+        yield from ctx.throttle(T_FULL)
+
+    # Intra-node fan-out at full throttle (still fmin).
+    yield from shm_bcast(ctx, nbytes, affinity.node_leader(ctx.node_id), shared, sseq)
+    yield from dvfs_up(ctx)
+
+
+def power_aware_mc_reduce(ctx, nbytes: int, root: int, comm, seq: int):
+    """Proposed power-aware reduce: shared-memory combine first, then the
+    throttled leader network phase."""
+    validate_collective_args(comm.size, nbytes)
+    if comm is not ctx.world:
+        raise ValueError("power-aware mc_reduce requires COMM_WORLD")
+    shared = ctx.shared_comm
+    leaders = ctx.leader_comm
+    affinity = ctx.affinity
+    root_node = affinity.node_of(root)
+    root_leader = affinity.node_leader(root_node)
+    # Sub-communicators use their own sequence counters (see mc_bcast).
+    sseq = ctx.next_seq(shared)
+    lseq = ctx.next_seq(leaders) if ctx.is_node_leader() else 0
+    net_done = f"rd{seq}.netdone"
+
+    yield from dvfs_down(ctx)
+
+    # Stage 0: intra-node combine (everyone active).
+    yield from shm_reduce(ctx, nbytes, affinity.node_leader(ctx.node_id), shared, sseq)
+
+    # Stage 1: throttled network phase.
+    yield from _network_phase_throttle(ctx)
+    if ctx.is_node_leader():
+        t0 = ctx.env.now
+        yield from binomial_reduce(
+            ctx, nbytes, leaders.rank_of(root_leader), leaders, lseq
+        )
+        if leaders.rank_of(ctx.rank) == 0:
+            ctx.job.stats.add_phase("reduce.network", ctx.env.now - t0)
+        ctx.notify(net_done)
+        yield from ctx.throttle(T_FULL)
+    else:
+        yield ctx.flag(net_done)
+        yield from ctx.throttle(T_FULL)
+
+    # Stage 2: deliver to the true root if it is not a leader.
+    if root != root_leader:
+        if ctx.rank == root_leader:
+            yield from ctx.send(
+                dst=shared.rank_of(root), nbytes=nbytes,
+                tag=tag_for(sseq, 62), comm=shared,
+            )
+        elif ctx.rank == root:
+            yield from ctx.recv(
+                src=shared.rank_of(root_leader), tag=tag_for(sseq, 62), comm=shared
+            )
+    yield from dvfs_up(ctx)

@@ -1,0 +1,93 @@
+"""MPI_Reduce algorithms: binomial tree and the multi-core-aware
+shared-memory composition (intra-node combine, then leader network phase).
+"""
+
+from __future__ import annotations
+
+from .base import tag_for, validate_collective_args
+
+
+def _combine(ctx, nbytes: float):
+    """CPU cost of folding one incoming buffer into the accumulator."""
+    if nbytes > 0:
+        yield from ctx._overhead(nbytes / ctx.spec.reduce_bw)
+
+
+def binomial_reduce(ctx, nbytes: int, root: int, comm, seq: int):
+    """Binomial-tree reduction [23] (commutative op assumed)."""
+    size = comm.size
+    validate_collective_args(size, nbytes)
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    relative = (me - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = (relative - mask + root) % size
+            yield from ctx.send(dst=parent, nbytes=nbytes, tag=tag_for(seq, 0), comm=comm)
+            break
+        else:
+            child_rel = relative + mask
+            if child_rel < size:
+                child = (child_rel + root) % size
+                yield from ctx.recv(src=child, tag=tag_for(seq, 0), comm=comm)
+                yield from _combine(ctx, nbytes)
+        mask <<= 1
+
+
+def shm_reduce(ctx, nbytes: int, root_world: int, comm, seq: int):
+    """Intra-node phase: every rank writes its buffer into the shared
+    region; the node leader combines them."""
+    size = comm.size
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    root = comm.rank_of(root_world)
+    if me == root:
+        for _ in range(size - 1):
+            yield from ctx.recv(tag=tag_for(seq, 1), comm=comm)
+            yield from _combine(ctx, nbytes)
+    else:
+        yield from ctx.send(dst=root, nbytes=nbytes, tag=tag_for(seq, 1), comm=comm)
+
+
+def mc_reduce(ctx, nbytes: int, root: int, comm, seq: int, record_phase: bool = True):
+    """Multi-core-aware reduce (Fig 1, right to left): shared-memory
+    combine on each node, binomial reduce across leaders, final hop to the
+    root if it is not a leader.  COMM_WORLD only."""
+    validate_collective_args(comm.size, nbytes)
+    if comm is not ctx.world:
+        raise ValueError("mc_reduce requires COMM_WORLD")
+    shared = ctx.shared_comm
+    leaders = ctx.leader_comm
+    affinity = ctx.affinity
+    root_node = affinity.node_of(root)
+    root_leader = affinity.node_leader(root_node)
+    # Sub-communicators use their own sequence counters (see mc_bcast).
+    sseq = ctx.next_seq(shared)
+    lseq = ctx.next_seq(leaders) if ctx.is_node_leader() else 0
+
+    # Stage 0: combine within each node.
+    yield from shm_reduce(ctx, nbytes, affinity.node_leader(ctx.node_id), shared, sseq)
+
+    # Stage 1: network phase across leaders.
+    if ctx.is_node_leader():
+        t0 = ctx.env.now
+        yield from binomial_reduce(
+            ctx, nbytes, leaders.rank_of(root_leader), leaders, lseq
+        )
+        if record_phase and leaders.rank_of(ctx.rank) == 0:
+            ctx.job.stats.add_phase("reduce.network", ctx.env.now - t0)
+
+    # Stage 2: deliver to the true root if it is not its node's leader.
+    if root != root_leader:
+        if ctx.rank == root_leader:
+            yield from ctx.send(
+                dst=shared.rank_of(root), nbytes=nbytes,
+                tag=tag_for(sseq, 62), comm=shared,
+            )
+        elif ctx.rank == root:
+            yield from ctx.recv(
+                src=shared.rank_of(root_leader), tag=tag_for(sseq, 62), comm=shared
+            )

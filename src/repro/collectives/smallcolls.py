@@ -1,0 +1,149 @@
+"""The remaining default collectives: allgather, allreduce, scatter,
+gather, barrier.  These round out the substrate (the applications and the
+multi-core-aware compositions use them)."""
+
+from __future__ import annotations
+
+from .base import is_power_of_two, tag_for, validate_collective_args
+from .bcast import binomial_bcast, _ring_allgather
+from .reduce import _combine, binomial_reduce
+
+
+def ring_allgather(ctx, nbytes: int, comm, seq: int):
+    """Ring allgather: every rank contributes ``nbytes``; size−1 steps."""
+    validate_collective_args(comm.size, nbytes)
+    if comm.size == 1:
+        return
+    yield from _ring_allgather(ctx, nbytes, comm, seq, tag_offset=0)
+
+
+def recursive_doubling_allreduce(ctx, nbytes: int, comm, seq: int):
+    """Recursive-doubling allreduce (power-of-two groups); falls back to
+    reduce + bcast otherwise."""
+    size = comm.size
+    validate_collective_args(size, nbytes)
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    if not is_power_of_two(size):
+        yield from binomial_reduce(ctx, nbytes, 0, comm, seq)
+        yield from binomial_bcast(ctx, nbytes, 0, comm, seq)
+        return
+    mask = 1
+    step = 0
+    while mask < size:
+        partner = me ^ mask
+        yield from ctx.sendrecv(
+            dst=partner, nbytes=nbytes, src=partner,
+            tag=tag_for(seq, step), comm=comm,
+        )
+        yield from _combine(ctx, nbytes)
+        mask <<= 1
+        step += 1
+
+
+def binomial_scatter(ctx, nbytes: int, root: int, comm, seq: int):
+    """Binomial scatter: each rank ends with ``nbytes``; internal messages
+    carry whole subtrees."""
+    size = comm.size
+    validate_collective_args(size, nbytes)
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    relative = (me - root) % size
+    # Receive my subtree's data from the parent.
+    mask = 1
+    recv_mask = 0
+    while mask < size:
+        if relative & mask:
+            parent = (relative - mask + root) % size
+            yield from ctx.recv(src=parent, tag=tag_for(seq, 0), comm=comm)
+            recv_mask = mask
+            break
+        mask <<= 1
+    # Forward sub-subtrees.
+    mask = (recv_mask or size) >> 1
+    while mask > 0:
+        if relative + mask < size:
+            child = (relative + mask + root) % size
+            subtree = min(mask, size - (relative + mask))
+            yield from ctx.send(
+                dst=child, nbytes=nbytes * subtree, tag=tag_for(seq, 0), comm=comm
+            )
+        mask >>= 1
+
+
+def binomial_gather(ctx, nbytes: int, root: int, comm, seq: int):
+    """Binomial gather — the mirror image of :func:`binomial_scatter`."""
+    size = comm.size
+    validate_collective_args(size, nbytes)
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    relative = (me - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = (relative - mask + root) % size
+            subtree = min(mask, size - relative)
+            yield from ctx.send(
+                dst=parent, nbytes=nbytes * subtree, tag=tag_for(seq, 0), comm=comm
+            )
+            break
+        else:
+            child_rel = relative + mask
+            if child_rel < size:
+                child = (child_rel + root) % size
+                yield from ctx.recv(src=child, tag=tag_for(seq, 0), comm=comm)
+        mask <<= 1
+
+
+def reduce_scatter_pairwise(ctx, nbytes: int, comm, seq: int):
+    """Pairwise-exchange reduce-scatter: every rank ends with its ``nbytes``
+    block of the element-wise reduction.  P−1 steps of block exchange plus
+    a combine per step (the MPICH algorithm for commutative ops)."""
+    size = comm.size
+    validate_collective_args(size, nbytes)
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    for step in range(1, size):
+        dst = (me + step) % size
+        src = (me - step) % size
+        yield from ctx.sendrecv(
+            dst=dst, nbytes=nbytes, src=src, tag=tag_for(seq, step), comm=comm
+        )
+        yield from _combine(ctx, nbytes)
+
+
+def linear_scan(ctx, nbytes: int, comm, seq: int):
+    """MPI_Scan via the sequential chain: rank r receives the prefix from
+    r−1, folds its contribution, and forwards to r+1."""
+    size = comm.size
+    validate_collective_args(size, nbytes)
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    if me > 0:
+        yield from ctx.recv(src=me - 1, tag=tag_for(seq, 0), comm=comm)
+        yield from _combine(ctx, nbytes)
+    if me < size - 1:
+        yield from ctx.send(dst=me + 1, nbytes=nbytes, tag=tag_for(seq, 0), comm=comm)
+
+
+def dissemination_barrier(ctx, comm, seq: int):
+    """Dissemination barrier: ⌈log₂ P⌉ rounds of zero-byte messages."""
+    size = comm.size
+    if size == 1:
+        return
+    me = comm.rank_of(ctx.rank)
+    mask = 1
+    step = 0
+    while mask < size:
+        dst = (me + mask) % size
+        src = (me - mask) % size
+        yield from ctx.sendrecv(
+            dst=dst, nbytes=0, src=src, tag=tag_for(seq, step), comm=comm
+        )
+        mask <<= 1
+        step += 1

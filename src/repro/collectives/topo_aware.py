@@ -1,0 +1,290 @@
+"""Topology-aware collectives for multi-rack clusters, and their
+power-aware variants — the paper's future work (§VIII):
+
+    "We are interested in extending these power-aware optimizations to the
+    topology-aware algorithms [27] to conserve power on large scale
+    clusters by throttling down all the processes in a rack during the
+    inter-rack communication phases."
+
+Hierarchy (one more level than Fig 1): rack leaders exchange across the
+oversubscribed leaf-to-spine uplinks first, then node leaders within each
+rack, then the shared-memory fan-out inside each node.  The power-aware
+variants run at fmin and keep *entire racks* throttled while only the rack
+leaders drive the uplinks.
+"""
+
+from __future__ import annotations
+
+from ..cluster.specs import ThrottleGranularity
+from .base import tag_for, validate_collective_args
+from .bcast import binomial_bcast, scatter_allgather_bcast, shm_bcast
+from .power_control import T_FULL, T_LOW, T_PARTIAL, dvfs_down, dvfs_up
+from .reduce import binomial_reduce, shm_reduce
+
+
+def _require_world_root_leader(ctx, comm, root: int) -> None:
+    if comm is not ctx.world:
+        raise ValueError("topology-aware collectives require COMM_WORLD")
+    if root != 0:
+        # The rack hierarchy is rooted at rank 0 (= leader of rack 0); a
+        # general root would need an extra forwarding hop.
+        raise ValueError("topology-aware collectives currently require root=0")
+
+
+def topo_bcast(ctx, nbytes: int, root: int, comm, seq: int, record_phase: bool = True):
+    """Three-level broadcast: rack leaders → node leaders → shared memory."""
+    validate_collective_args(comm.size, nbytes)
+    _require_world_root_leader(ctx, comm, root)
+    aff = ctx.affinity
+    layout = ctx.job.layout
+    my_rack = aff.rack_of(ctx.rank)
+    # Per-sub-communicator sequence counters (see mc_bcast).
+    sseq = ctx.next_seq(ctx.shared_comm)
+    rnseq = (
+        ctx.next_seq(layout.rack_node_leaders[my_rack])
+        if ctx.is_node_leader()
+        else 0
+    )
+    rlseq = ctx.next_seq(layout.rack_leaders) if aff.is_rack_leader(ctx.rank) else 0
+
+    # Stage 1: across racks (the expensive, oversubscribed hop).
+    if aff.is_rack_leader(ctx.rank):
+        t0 = ctx.env.now
+        yield from scatter_allgather_bcast(
+            ctx, nbytes, 0, layout.rack_leaders, rlseq
+        )
+        if record_phase and ctx.rank == 0:
+            ctx.job.stats.add_phase("topo_bcast.inter_rack", ctx.env.now - t0)
+
+    # Stage 2: node leaders within each rack (scatter-allgather: the rack's
+    # leaf switch is non-blocking, so the ring pipelines at full rate).
+    if ctx.is_node_leader():
+        rack_comm = layout.rack_node_leaders[my_rack]
+        rack_root = rack_comm.rank_of(aff.rack_leader(my_rack))
+        yield from scatter_allgather_bcast(ctx, nbytes, rack_root, rack_comm, rnseq)
+
+    # Stage 3: shared-memory fan-out.
+    yield from shm_bcast(
+        ctx, nbytes, aff.node_leader(ctx.node_id), ctx.shared_comm, sseq
+    )
+
+
+def power_aware_topo_bcast(ctx, nbytes: int, root: int, comm, seq: int):
+    """Power-aware rack broadcast: during the inter-rack phase every rank
+    of a rack except its rack leader is throttled (whole racks go dark, the
+    paper's §VIII vision); node leaders are woken with a zero-byte message,
+    then the intra-rack and intra-node phases run unthrottled (at fmin)."""
+    validate_collective_args(comm.size, nbytes)
+    _require_world_root_leader(ctx, comm, root)
+    aff = ctx.affinity
+    layout = ctx.job.layout
+    my_rack = aff.rack_of(ctx.rank)
+    rack_leader = aff.rack_leader(my_rack)
+    granularity = ctx.core.spec.throttle_granularity
+    # Per-sub-communicator sequence counters (see mc_bcast).
+    sseq = ctx.next_seq(ctx.shared_comm)
+    rnseq = (
+        ctx.next_seq(layout.rack_node_leaders[my_rack])
+        if ctx.is_node_leader()
+        else 0
+    )
+    rlseq = ctx.next_seq(layout.rack_leaders) if aff.is_rack_leader(ctx.rank) else 0
+    wake_tag = tag_for(rnseq, 60)
+    net_done = f"tbc{seq}.rackdone"
+
+    yield from dvfs_down(ctx)
+
+    # -- throttle pattern for the inter-rack phase ----------------------------
+    if ctx.rank == rack_leader:
+        yield from ctx.throttle(T_PARTIAL)
+    elif granularity is ThrottleGranularity.CORE:
+        yield from ctx.throttle(T_LOW)
+    elif ctx.node_id != aff.node_of(rack_leader):
+        # Whole node is dark: every socket leader throttles its package.
+        if ctx.rank == aff.socket_leader(ctx.rank):
+            yield from ctx.throttle(T_LOW, charge=False)
+    elif ctx.socket.local_index != aff.socket_group(rack_leader):
+        if ctx.rank == aff.socket_leader(ctx.rank):
+            yield from ctx.throttle(T_LOW, charge=False)
+
+    # -- stage 1: rack leaders across the spine -------------------------------
+    if ctx.rank == rack_leader:
+        t0 = ctx.env.now
+        yield from scatter_allgather_bcast(ctx, nbytes, 0, layout.rack_leaders, rlseq)
+        if ctx.rank == 0:
+            ctx.job.stats.add_phase("topo_bcast.inter_rack", ctx.env.now - t0)
+        yield from ctx.throttle(T_FULL)
+        # Wake the rack's other node leaders before pushing data at them.
+        rack_comm = layout.rack_node_leaders[my_rack]
+        for node_id in aff.nodes_in_rack(my_rack):
+            leader = aff.node_leader(node_id)
+            if leader != ctx.rank:
+                yield from ctx.send(
+                    dst=rack_comm.rank_of(leader), nbytes=0,
+                    tag=wake_tag, comm=rack_comm,
+                )
+    elif ctx.is_node_leader():
+        rack_comm = layout.rack_node_leaders[my_rack]
+        yield from ctx.recv(
+            src=rack_comm.rank_of(rack_leader), tag=wake_tag, comm=rack_comm
+        )
+        yield from ctx.throttle(T_FULL)
+
+    # -- stage 2: node leaders within the rack --------------------------------
+    if ctx.is_node_leader():
+        rack_comm = layout.rack_node_leaders[my_rack]
+        yield from scatter_allgather_bcast(
+            ctx, nbytes, rack_comm.rank_of(rack_leader), rack_comm, rnseq
+        )
+        ctx.notify(net_done)
+    else:
+        yield ctx.flag(net_done)
+        yield from ctx.throttle(T_FULL)
+
+    # -- stage 3: shared memory ------------------------------------------------
+    yield from shm_bcast(
+        ctx, nbytes, aff.node_leader(ctx.node_id), ctx.shared_comm, sseq
+    )
+    yield from dvfs_up(ctx)
+
+
+def topo_scatter(ctx, nbytes: int, root: int, comm, seq: int):
+    """Topology-aware scatter (the case study of the paper's ref [27]):
+    root → rack leaders (rack-sized blocks) → node leaders (node-sized
+    blocks) → shared-memory distribution.  Each rank ends with ``nbytes``.
+    """
+    validate_collective_args(comm.size, nbytes)
+    _require_world_root_leader(ctx, comm, root)
+    aff = ctx.affinity
+    layout = ctx.job.layout
+    my_rack = aff.rack_of(ctx.rank)
+    c = aff.cores_per_node
+    # Per-sub-communicator sequence counters (see mc_bcast).
+    sseq = ctx.next_seq(ctx.shared_comm)
+    rnseq = (
+        ctx.next_seq(layout.rack_node_leaders[my_rack])
+        if ctx.is_node_leader()
+        else 0
+    )
+    rlseq = ctx.next_seq(layout.rack_leaders) if aff.is_rack_leader(ctx.rank) else 0
+
+    # Stage 1: root sends each rack leader its rack's block.
+    if ctx.rank == 0:
+        for rack in range(1, aff.n_racks_used):
+            block = nbytes * c * len(aff.nodes_in_rack(rack))
+            yield from ctx.send(
+                dst=layout.rack_leaders.rank_of(aff.rack_leader(rack)),
+                nbytes=block, tag=tag_for(rlseq, 0), comm=layout.rack_leaders,
+            )
+    elif aff.is_rack_leader(ctx.rank):
+        yield from ctx.recv(src=0, tag=tag_for(rlseq, 0), comm=layout.rack_leaders)
+
+    # Stage 2: rack leader scatters node blocks to its node leaders.
+    if ctx.is_node_leader():
+        rack_comm = layout.rack_node_leaders[my_rack]
+        rack_root = rack_comm.rank_of(aff.rack_leader(my_rack))
+        me = rack_comm.rank_of(ctx.rank)
+        if me == rack_root:
+            for dst in range(rack_comm.size):
+                if dst != rack_root:
+                    yield from ctx.send(
+                        dst=dst, nbytes=nbytes * c, tag=tag_for(rnseq, 1),
+                        comm=rack_comm,
+                    )
+        else:
+            yield from ctx.recv(src=rack_root, tag=tag_for(rnseq, 1), comm=rack_comm)
+
+    # Stage 3: node leader hands each local rank its block.
+    shared = ctx.shared_comm
+    leader_local = shared.rank_of(aff.node_leader(ctx.node_id))
+    me_local = shared.rank_of(ctx.rank)
+    if me_local == leader_local:
+        for dst in range(shared.size):
+            if dst != leader_local:
+                yield from ctx.send(
+                    dst=dst, nbytes=nbytes, tag=tag_for(sseq, 2), comm=shared
+                )
+    else:
+        yield from ctx.recv(src=leader_local, tag=tag_for(sseq, 2), comm=shared)
+
+
+def topo_gather(ctx, nbytes: int, root: int, comm, seq: int):
+    """Topology-aware gather — the mirror of :func:`topo_scatter`."""
+    validate_collective_args(comm.size, nbytes)
+    _require_world_root_leader(ctx, comm, root)
+    aff = ctx.affinity
+    layout = ctx.job.layout
+    my_rack = aff.rack_of(ctx.rank)
+    c = aff.cores_per_node
+    # Per-sub-communicator sequence counters (see mc_bcast).
+    sseq = ctx.next_seq(ctx.shared_comm)
+    rnseq = (
+        ctx.next_seq(layout.rack_node_leaders[my_rack])
+        if ctx.is_node_leader()
+        else 0
+    )
+    rlseq = ctx.next_seq(layout.rack_leaders) if aff.is_rack_leader(ctx.rank) else 0
+
+    # Stage 1: ranks push their blocks to the node leader.
+    shared = ctx.shared_comm
+    leader_local = shared.rank_of(aff.node_leader(ctx.node_id))
+    me_local = shared.rank_of(ctx.rank)
+    if me_local == leader_local:
+        for _ in range(shared.size - 1):
+            yield from ctx.recv(tag=tag_for(sseq, 2), comm=shared)
+    else:
+        yield from ctx.send(
+            dst=leader_local, nbytes=nbytes, tag=tag_for(sseq, 2), comm=shared
+        )
+
+    # Stage 2: node leaders push node blocks to the rack leader.
+    if ctx.is_node_leader():
+        rack_comm = layout.rack_node_leaders[my_rack]
+        rack_root = rack_comm.rank_of(aff.rack_leader(my_rack))
+        me = rack_comm.rank_of(ctx.rank)
+        if me == rack_root:
+            for _ in range(rack_comm.size - 1):
+                yield from ctx.recv(tag=tag_for(rnseq, 1), comm=rack_comm)
+        else:
+            yield from ctx.send(
+                dst=rack_root, nbytes=nbytes * c, tag=tag_for(rnseq, 1), comm=rack_comm
+            )
+
+    # Stage 3: rack leaders push rack blocks to the root.
+    if aff.is_rack_leader(ctx.rank) and ctx.rank != 0:
+        block = nbytes * c * len(aff.nodes_in_rack(my_rack))
+        yield from ctx.send(
+            dst=0, nbytes=block, tag=tag_for(rlseq, 0), comm=layout.rack_leaders
+        )
+    elif ctx.rank == 0:
+        for _ in range(aff.n_racks_used - 1):
+            yield from ctx.recv(tag=tag_for(rlseq, 0), comm=layout.rack_leaders)
+
+
+def topo_reduce(ctx, nbytes: int, root: int, comm, seq: int):
+    """Three-level reduce: shared memory → node leaders per rack → rack
+    leaders across the spine."""
+    validate_collective_args(comm.size, nbytes)
+    _require_world_root_leader(ctx, comm, root)
+    aff = ctx.affinity
+    layout = ctx.job.layout
+    my_rack = aff.rack_of(ctx.rank)
+    # Per-sub-communicator sequence counters (see mc_bcast).
+    sseq = ctx.next_seq(ctx.shared_comm)
+    rnseq = (
+        ctx.next_seq(layout.rack_node_leaders[my_rack])
+        if ctx.is_node_leader()
+        else 0
+    )
+    rlseq = ctx.next_seq(layout.rack_leaders) if aff.is_rack_leader(ctx.rank) else 0
+
+    yield from shm_reduce(
+        ctx, nbytes, aff.node_leader(ctx.node_id), ctx.shared_comm, sseq
+    )
+    if ctx.is_node_leader():
+        rack_comm = layout.rack_node_leaders[my_rack]
+        yield from binomial_reduce(
+            ctx, nbytes, rack_comm.rank_of(aff.rack_leader(my_rack)), rack_comm, rnseq
+        )
+    if aff.is_rack_leader(ctx.rank):
+        yield from binomial_reduce(ctx, nbytes, 0, layout.rack_leaders, rlseq)

@@ -1,0 +1,25 @@
+"""Simulated OSU MPI microbenchmarks (the paper's §VII-B toolkit)."""
+
+from .osu import (
+    DEFAULT_ITERATIONS,
+    DEFAULT_SIZES,
+    DEFAULT_WARMUP,
+    DEFAULT_WINDOW,
+    osu_bibw,
+    osu_bw,
+    osu_collective_latency,
+    osu_latency,
+    sweep,
+)
+
+__all__ = [
+    "DEFAULT_ITERATIONS",
+    "DEFAULT_SIZES",
+    "DEFAULT_WARMUP",
+    "DEFAULT_WINDOW",
+    "osu_bibw",
+    "osu_bw",
+    "osu_collective_latency",
+    "osu_latency",
+    "sweep",
+]

@@ -1,0 +1,36 @@
+"""Analytical performance & power models (paper §VI, equations 1–8)."""
+
+from .fitting import HockneyFit, fit_cnet, fit_cnet_from_simulation, fit_hockney
+from .params import ModelParams
+from .performance import (
+    dvfs_slowdown,
+    t_alltoall_pairwise,
+    t_alltoall_power_aware,
+    t_bcast_power_aware,
+    t_bcast_scatter_allgather,
+)
+from .power import (
+    energy_alltoall_power_aware,
+    energy_bcast_power_aware,
+    energy_default,
+    energy_dvfs,
+    savings_ordering_holds,
+)
+
+__all__ = [
+    "HockneyFit",
+    "ModelParams",
+    "dvfs_slowdown",
+    "fit_cnet",
+    "fit_cnet_from_simulation",
+    "fit_hockney",
+    "energy_alltoall_power_aware",
+    "energy_bcast_power_aware",
+    "energy_default",
+    "energy_dvfs",
+    "savings_ordering_holds",
+    "t_alltoall_pairwise",
+    "t_alltoall_power_aware",
+    "t_bcast_power_aware",
+    "t_bcast_scatter_allgather",
+]

@@ -1,0 +1,74 @@
+"""Parameters of the analytical models (paper §VI).
+
+The paper expresses its models in Hockney-style constants: per-word
+transfer costs ``tw_*``, start-up costs ``ts_*``, the contention factor
+``Cnet``, the throttling slowdown ``Cthrottle`` and the transition
+overheads ``Odvfs`` / ``Othrottle``.  :meth:`ModelParams.from_specs`
+derives them from the simulator's configuration so that model and
+simulator describe the same machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.specs import CpuSpec
+from ..network.params import NetworkSpec
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Constants for equations (1)–(8)."""
+
+    #: Start-up cost of an intra-node exchange (s).
+    ts_intra: float = 0.4e-6
+    #: Per-byte cost of an intra-node exchange (s/B).
+    tw_intra: float = 1.0 / 4.5e9
+    #: Start-up cost of an inter-node exchange (s).
+    ts_inter: float = 1.5e-6
+    #: Per-byte cost of an inter-node exchange (s/B).
+    tw_inter: float = 1.0 / 3.0e9
+    #: Network contention factor (positive; 1 = no contention).
+    cnet: float = 1.0
+    #: Slowdown of the network phase when the leader socket is throttled.
+    cthrottle: float = 1.05
+    #: DVFS transition cost (s).
+    o_dvfs: float = 12e-6
+    #: T-state transition cost (s).
+    o_throttle: float = 12e-6
+
+    def __post_init__(self) -> None:
+        if self.cnet < 1.0:
+            raise ValueError("Cnet must be >= 1 (it multiplies transfer cost)")
+        if self.cthrottle < 1.0:
+            raise ValueError("Cthrottle must be >= 1")
+
+    @classmethod
+    def from_specs(
+        cls,
+        network: NetworkSpec | None = None,
+        cpu: CpuSpec | None = None,
+        cnet: float = 1.0,
+        cthrottle: float = 1.05,
+    ) -> "ModelParams":
+        """Derive model constants from simulator specifications."""
+        network = network or NetworkSpec()
+        cpu = cpu or CpuSpec()
+        return cls(
+            ts_intra=network.shm_latency,
+            tw_intra=1.0 / network.shm_bw,
+            ts_inter=network.inter_node_latency,
+            tw_inter=1.0 / network.nic_bw,
+            cnet=cnet,
+            cthrottle=cthrottle,
+            o_dvfs=cpu.dvfs_latency_s,
+            o_throttle=cpu.throttle_latency_s,
+        )
+
+    @classmethod
+    def contended(cls, concurrent_flows: int, **kw) -> "ModelParams":
+        """Convenience: Cnet for ``concurrent_flows`` ranks sharing one HCA
+        (the block-mapped fully-subscribed layout of all paper runs)."""
+        if concurrent_flows < 1:
+            raise ValueError("need at least one flow")
+        return cls.from_specs(cnet=float(concurrent_flows), **kw)

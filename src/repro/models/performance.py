@@ -1,0 +1,83 @@
+"""Analytical performance models — paper §VI-A, equations (1)–(4).
+
+All functions return seconds for one collective of per-peer message size
+``m_bytes`` on ``n_nodes`` nodes of ``cores`` cores each.
+"""
+
+from __future__ import annotations
+
+from .params import ModelParams
+
+
+def _validate(n_nodes: int, cores: int, m_bytes: float) -> None:
+    if n_nodes < 1 or cores < 1:
+        raise ValueError("need at least one node and one core")
+    if m_bytes < 0:
+        raise ValueError("message size must be >= 0")
+
+
+def t_alltoall_pairwise(
+    n_nodes: int, cores: int, m_bytes: float, params: ModelParams | None = None
+) -> float:
+    """Equation (1): ``T = tw_inter · (P − c) · Cnet · M``.
+
+    The pairwise exchange's P−c inter-node steps dominate; intra-node steps
+    are neglected as in the paper.
+    """
+    params = params or ModelParams()
+    _validate(n_nodes, cores, m_bytes)
+    p = n_nodes * cores
+    return params.tw_inter * (p - cores) * params.cnet * m_bytes
+
+
+def t_bcast_scatter_allgather(
+    n_nodes: int, m_bytes: float, params: ModelParams | None = None
+) -> float:
+    """Equation (2): ``T = M(N−1) · tw_inter · (1 + 1/N)``.
+
+    Scatter moves M(N−1)/N, the allgather ring M(N−1)/N per leader — the
+    paper folds both into the closed form above.
+    """
+    params = params or ModelParams()
+    _validate(n_nodes, 1, m_bytes)
+    if n_nodes == 1:
+        return 0.0
+    return m_bytes * (n_nodes - 1) * params.tw_inter * (1.0 + 1.0 / n_nodes)
+
+
+def t_alltoall_power_aware(
+    n_nodes: int, cores: int, m_bytes: float, params: ModelParams | None = None
+) -> float:
+    """Equation (3): the proposed alltoall.
+
+    Phases 2–4 each cost ``tw_inter · N·c · (Cnet/4) · M`` (half the flows
+    → half the contention, half the data per phase), plus two DVFS
+    transitions and N throttle transitions:
+
+    ``T = (3/4)·tw_inter·N·c·Cnet·M + 2·Odvfs + N·Othrottle``
+    """
+    params = params or ModelParams()
+    _validate(n_nodes, cores, m_bytes)
+    transfer = 0.75 * params.tw_inter * n_nodes * cores * params.cnet * m_bytes
+    return transfer + 2.0 * params.o_dvfs + n_nodes * params.o_throttle
+
+
+def t_bcast_power_aware(
+    n_nodes: int, m_bytes: float, params: ModelParams | None = None
+) -> float:
+    """Equation (4): the proposed shared-memory bcast.
+
+    ``T = M(N−1)·tw_inter·(1+1/N)·Cthrottle + 2·Odvfs + 2·Othrottle``
+    """
+    params = params or ModelParams()
+    base = t_bcast_scatter_allgather(n_nodes, m_bytes, params)
+    return base * params.cthrottle + 2.0 * params.o_dvfs + 2.0 * params.o_throttle
+
+
+def dvfs_slowdown(fmin_ghz: float, fmax_ghz: float, io_alpha: float) -> float:
+    """Transfer-time multiplier when all cores sit at fmin: the uncore feed
+    limit of the HCA (the simulator's ``nic_dvfs_factor`` inverted)."""
+    if not 0 < fmin_ghz <= fmax_ghz:
+        raise ValueError("need 0 < fmin <= fmax")
+    ratio = fmin_ghz / fmax_ghz
+    return 1.0 / (io_alpha + (1.0 - io_alpha) * ratio)

@@ -1,0 +1,105 @@
+"""Analytical power/energy models — paper §VI-B, equations (5)–(8).
+
+The paper writes these as integrals of instantaneous core power over the
+collective's duration.  With the piecewise-constant power model the
+integrals collapse to products; each function returns Joules for one
+collective lasting ``duration_s`` on ``n_nodes``·``cores`` cores.
+
+``cj`` factors (the paper's throttle coefficients) come from the
+calibrated :class:`~repro.power.model.PowerModel` gate, so the analytical
+and simulated energies share constants.
+"""
+
+from __future__ import annotations
+
+from ..cluster.cpu import Activity
+from ..power.model import PowerModel
+
+
+def _core_power(model: PowerModel, freq_ghz: float, tstate: int) -> float:
+    return model.core_power_for(freq_ghz, tstate, Activity.POLLING)
+
+
+def energy_default(
+    n_nodes: int,
+    cores: int,
+    duration_s: float,
+    fmax_ghz: float = 2.4,
+    model: PowerModel | None = None,
+    include_node_base: bool = True,
+) -> float:
+    """Equation (5): every core polls at fmax for the whole interval."""
+    model = model or PowerModel()
+    e = n_nodes * cores * _core_power(model, fmax_ghz, 0) * duration_s
+    if include_node_base:
+        e += model.params.node_base_w * n_nodes * duration_s
+    return e
+
+
+def energy_dvfs(
+    n_nodes: int,
+    cores: int,
+    duration_s: float,
+    fmin_ghz: float = 1.6,
+    model: PowerModel | None = None,
+    include_node_base: bool = True,
+) -> float:
+    """Equation (6): every core polls at fmin for the (longer) interval."""
+    model = model or PowerModel()
+    e = n_nodes * cores * _core_power(model, fmin_ghz, 0) * duration_s
+    if include_node_base:
+        e += model.params.node_base_w * n_nodes * duration_s
+    return e
+
+
+def energy_alltoall_power_aware(
+    n_nodes: int,
+    cores: int,
+    duration_s: float,
+    fmin_ghz: float = 1.6,
+    t_low: int = 7,
+    model: PowerModel | None = None,
+    include_node_base: bool = True,
+) -> float:
+    """Equation (7): during phases 2–4 each core spends half the time fully
+    throttled (T7) and half at T0, all at fmin."""
+    model = model or PowerModel()
+    p_full = _core_power(model, fmin_ghz, 0)
+    p_throttled = _core_power(model, fmin_ghz, t_low)
+    e = n_nodes * cores * 0.5 * (p_full + p_throttled) * duration_s
+    if include_node_base:
+        e += model.params.node_base_w * n_nodes * duration_s
+    return e
+
+
+def energy_bcast_power_aware(
+    n_nodes: int,
+    cores: int,
+    duration_s: float,
+    fmin_ghz: float = 1.6,
+    t_partial: int = 4,
+    t_low: int = 7,
+    model: PowerModel | None = None,
+    include_node_base: bool = True,
+) -> float:
+    """Equation (8): half the cores (socket A) at T4, half (socket B) at
+    T7, all at fmin, for the duration of the network phase."""
+    model = model or PowerModel()
+    p_a = _core_power(model, fmin_ghz, t_partial)
+    p_b = _core_power(model, fmin_ghz, t_low)
+    e = n_nodes * (cores / 2) * (p_a + p_b) * duration_s
+    if include_node_base:
+        e += model.params.node_base_w * n_nodes * duration_s
+    return e
+
+
+def savings_ordering_holds(
+    n_nodes: int = 8, cores: int = 8, duration_s: float = 1.0
+) -> bool:
+    """The paper's qualitative claim: eq (8) < eq (7) < eq (6) < eq (5)
+    for equal durations (more throttling, less power)."""
+    e5 = energy_default(n_nodes, cores, duration_s)
+    e6 = energy_dvfs(n_nodes, cores, duration_s)
+    e7 = energy_alltoall_power_aware(n_nodes, cores, duration_s)
+    e8 = energy_bcast_power_aware(n_nodes, cores, duration_s)
+    return e8 < e7 < e6 < e5

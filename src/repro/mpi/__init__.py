@@ -1,0 +1,21 @@
+"""Simulated MPI: communicators, point-to-point engine, rank programs."""
+
+from .communicator import CommLayout, Communicator, CommunicatorFactory
+from .context import RankContext
+from .job import JobResult, JobStats, MpiJob, run_collective_once
+from .p2p import ANY_SOURCE, ANY_TAG, MessageEngine, ProgressMode
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommLayout",
+    "Communicator",
+    "CommunicatorFactory",
+    "JobResult",
+    "JobStats",
+    "MessageEngine",
+    "MpiJob",
+    "ProgressMode",
+    "RankContext",
+    "run_collective_once",
+]

@@ -1,0 +1,284 @@
+"""Per-rank programming interface.
+
+A rank program is a generator function ``def program(ctx, ...)`` that
+``yield from``-s the context's operations::
+
+    def program(ctx):
+        yield from ctx.compute(1e-3)              # 1 ms of work at fmax
+        yield from ctx.alltoall(1 << 20)          # collective on COMM_WORLD
+        yield from ctx.send(dst=1, nbytes=4096)   # p2p
+
+Power-management operations (``scale_frequency`` / ``throttle``) mirror
+what the paper's MVAPICH2 modifications do around and inside collectives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..cluster.cpu import Activity
+from ..sim import Event
+from .communicator import Communicator
+from .p2p import ANY_SOURCE, ANY_TAG, ProgressMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .job import MpiJob
+
+
+class RankContext:
+    """Everything one MPI rank can see and do."""
+
+    def __init__(self, job: "MpiJob", rank: int):
+        self.job = job
+        self.rank = rank
+        self.env = job.env
+        self.core = job.affinity.core_of(rank)
+        self.socket = job.affinity.socket_of(rank)
+        self.node_id = job.affinity.node_of(rank)
+        self._coll_seq: dict = {}
+
+    # -- group facts ---------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.job.n_ranks
+
+    @property
+    def world(self) -> Communicator:
+        return self.job.layout.world
+
+    @property
+    def shared_comm(self) -> Communicator:
+        """This node's shared-memory communicator (Fig 1)."""
+        return self.job.layout.shared[self.node_id]
+
+    @property
+    def leader_comm(self) -> Communicator:
+        return self.job.layout.leaders
+
+    @property
+    def affinity(self):
+        return self.job.affinity
+
+    @property
+    def spec(self):
+        return self.job.net.spec
+
+    def is_node_leader(self) -> bool:
+        return self.job.affinity.is_leader(self.rank)
+
+    def next_seq(self, comm: Communicator) -> int:
+        """Per-communicator collective sequence number (SPMD programs call
+        collectives in the same order, so counters agree across ranks).
+        Used to keep the tag spaces of successive collectives disjoint."""
+        seq = self._coll_seq.get(comm.comm_id, 0)
+        self._coll_seq[comm.comm_id] = seq + 1
+        return seq
+
+    def now(self) -> float:
+        return self.env.now
+
+    # -- internal helpers ----------------------------------------------------
+    def _overhead(self, seconds_at_peak: float):
+        """CPU cost scaled by the core's current speed factor."""
+        if seconds_at_peak > 0:
+            yield self.env.timeout(self.core.cpu_time(seconds_at_peak))
+
+    def _wait(self, event: Event):
+        """Wait for ``event`` honouring the progress mode.
+
+        Polling: spin (core stays busy).  Blocking: spin for the spin
+        window, then sleep (core → BLOCKED) and pay interrupt + re-schedule
+        latency on wake-up.
+        """
+        if self.job.progress is ProgressMode.POLLING:
+            value = yield event
+            return value
+        spec = self.spec
+        spin = self.env.timeout(spec.spin_window)
+        yield self.env.any_of([event, spin])
+        if event.triggered:
+            return event.value
+        self.core.set_activity(Activity.BLOCKED, self.env.now)
+        value = yield event
+        self.core.set_activity(Activity.POLLING, self.env.now)
+        yield self.env.timeout(spec.interrupt_latency + spec.resched_latency)
+        return value
+
+    # -- point-to-point ---------------------------------------------------------
+    def isend(
+        self,
+        dst: int,
+        nbytes: int,
+        tag: int = 0,
+        comm: Optional[Communicator] = None,
+    ):
+        """Start a send; returns the request event (pays the CPU overhead)."""
+        comm = comm or self.world
+        yield from self._overhead(self.spec.o_send)
+        dst_world = comm.world_rank(dst)
+        return self.job.engine.post_send(self.rank, dst_world, nbytes, tag, comm)
+
+    def irecv(
+        self,
+        src: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Optional[Communicator] = None,
+    ):
+        """Post a receive; returns the request event."""
+        comm = comm or self.world
+        yield from self._overhead(self.spec.o_recv)
+        src_world = src if src == ANY_SOURCE else comm.world_rank(src)
+        return self.job.engine.post_recv(self.rank, src_world, tag, comm)
+
+    def send(self, dst, nbytes, tag=0, comm=None):
+        """Blocking send: returns when the message engine releases the sender
+        (immediately for eager, at transfer completion for rendezvous)."""
+        req = yield from self.isend(dst, nbytes, tag, comm)
+        value = yield from self._wait(req)
+        return value
+
+    def recv(self, src=ANY_SOURCE, tag=ANY_TAG, comm=None):
+        """Blocking receive; returns (src_world, tag, nbytes)."""
+        req = yield from self.irecv(src, tag, comm)
+        value = yield from self._wait(req)
+        return value
+
+    def waitall(self, requests):
+        """Wait for every request in ``requests``; returns their values."""
+        yield from self._wait(self.env.all_of(list(requests)))
+        return [req.value for req in requests]
+
+    def waitany(self, requests):
+        """Wait until at least one request completes; returns the index and
+        value of the first completed request (by list order)."""
+        requests = list(requests)
+        if not requests:
+            raise ValueError("waitany needs at least one request")
+        yield from self._wait(self.env.any_of(requests))
+        for i, req in enumerate(requests):
+            if req.triggered:
+                return i, req.value
+        raise AssertionError("any_of fired with no triggered request")
+
+    def sendrecv(self, dst, nbytes, src=None, tag=0, comm=None, recv_tag=None):
+        """Simultaneous exchange (the workhorse of pairwise alltoall)."""
+        comm = comm or self.world
+        src = dst if src is None else src
+        recv_tag = tag if recv_tag is None else recv_tag
+        sreq = yield from self.isend(dst, nbytes, tag, comm)
+        rreq = yield from self.irecv(src, recv_tag, comm)
+        yield from self._wait(self.env.all_of([sreq, rreq]))
+        return rreq.value
+
+    # -- computation ---------------------------------------------------------------
+    def compute(self, seconds_at_peak: float):
+        """Run application computation costing ``seconds_at_peak`` at fmax/T0;
+        slower under DVFS/throttling."""
+        if seconds_at_peak < 0:
+            raise ValueError("compute time must be >= 0")
+        if seconds_at_peak == 0:
+            return
+        self.core.set_activity(Activity.COMPUTE, self.env.now)
+        yield self.env.timeout(self.core.cpu_time(seconds_at_peak))
+        self.core.set_activity(Activity.POLLING, self.env.now)
+
+    def idle(self, seconds: float):
+        """Park the core (used by failure-injection and app tests)."""
+        self.core.set_activity(Activity.IDLE, self.env.now)
+        yield self.env.timeout(seconds)
+        self.core.set_activity(Activity.POLLING, self.env.now)
+
+    # -- power management ----------------------------------------------------------
+    def scale_frequency(self, freq_ghz: float, charge: bool = True):
+        """DVFS this rank's core (pays ``Odvfs`` unless ``charge=False``)."""
+        if charge:
+            yield self.env.timeout(self.core.spec.dvfs_latency_s)
+        self.core.set_frequency(freq_ghz, self.env.now)
+        self.job.net.dvfs_changed()
+        self.job.stats.dvfs_transitions += 1
+
+    def throttle(self, level: int, charge: bool = True):
+        """Throttle this rank's core at the architecture's granularity
+        (socket-wide on the paper's Nehalem; pays ``Othrottle``).
+
+        A no-op (already at ``level``) costs nothing — callers may safely
+        re-assert the state they need.
+        """
+        if self.core.tstate == level:
+            return
+        if charge:
+            yield self.env.timeout(self.core.spec.throttle_latency_s)
+        self.job.cluster.throttle_domain.apply(
+            self.core, self.socket, level, self.env.now
+        )
+        self.job.stats.throttle_transitions += 1
+
+    # -- node-local coordination -----------------------------------------------------
+    def notify(self, name: str) -> None:
+        """Fire the node-local flag ``name`` (a shared-memory word write)."""
+        self.job.node_flag(self.node_id, name).succeed(self.env.now)
+
+    def arrive(self, name: str, expected: int) -> None:
+        """Counting variant of :meth:`notify`: the flag fires once
+        ``expected`` ranks of this node have arrived."""
+        self.job.node_flag_arrive(self.node_id, name, expected)
+
+    def flag(self, name: str) -> Event:
+        """The node-local flag event (yield it to wait; idempotent lookup)."""
+        return self.job.node_flag(self.node_id, name)
+
+    # -- communicator management -------------------------------------------------------
+    def comm_split(self, color, key=None, comm: Optional[Communicator] = None):
+        """MPI_Comm_split: partition ``comm`` by ``color``; within each new
+        communicator ranks are ordered by (key, old rank).
+
+        ``color=None`` (MPI_UNDEFINED) returns ``None`` for this rank.
+        Costs one barrier on ``comm`` (the color allgather).
+        """
+        comm = comm or self.world
+        # The color exchange costs a small collective.
+        yield from self.barrier(comm)
+        key = comm.rank_of(self.rank) if key is None else key
+        seq = self.next_seq(comm)
+        result = self.job.register_split(comm, seq, self.rank, color, key)
+        yield result["event"]
+        return result["comms"].get(self.rank)
+
+    # -- collectives (dispatched through the registry) ---------------------------------
+    def alltoall(self, nbytes: int, comm: Optional[Communicator] = None):
+        """MPI_Alltoall with per-peer message size ``nbytes``."""
+        yield from self.job.collectives.alltoall(self, nbytes, comm or self.world)
+
+    def alltoallv(self, send_counts, comm: Optional[Communicator] = None):
+        """MPI_Alltoallv: ``send_counts[d]`` bytes to each peer d."""
+        yield from self.job.collectives.alltoallv(self, send_counts, comm or self.world)
+
+    def bcast(self, nbytes: int, root: int = 0, comm: Optional[Communicator] = None):
+        yield from self.job.collectives.bcast(self, nbytes, root, comm or self.world)
+
+    def reduce(self, nbytes: int, root: int = 0, comm: Optional[Communicator] = None):
+        yield from self.job.collectives.reduce(self, nbytes, root, comm or self.world)
+
+    def allreduce(self, nbytes: int, comm: Optional[Communicator] = None):
+        yield from self.job.collectives.allreduce(self, nbytes, comm or self.world)
+
+    def allgather(self, nbytes: int, comm: Optional[Communicator] = None):
+        yield from self.job.collectives.allgather(self, nbytes, comm or self.world)
+
+    def scatter(self, nbytes: int, root: int = 0, comm: Optional[Communicator] = None):
+        yield from self.job.collectives.scatter(self, nbytes, root, comm or self.world)
+
+    def gather(self, nbytes: int, root: int = 0, comm: Optional[Communicator] = None):
+        yield from self.job.collectives.gather(self, nbytes, root, comm or self.world)
+
+    def reduce_scatter(self, nbytes: int, comm: Optional[Communicator] = None):
+        """MPI_Reduce_scatter_block: each rank ends with an ``nbytes``
+        block of the reduction."""
+        yield from self.job.collectives.reduce_scatter(self, nbytes, comm or self.world)
+
+    def scan(self, nbytes: int, comm: Optional[Communicator] = None):
+        """MPI_Scan (inclusive prefix reduction)."""
+        yield from self.job.collectives.scan(self, nbytes, comm or self.world)
+
+    def barrier(self, comm: Optional[Communicator] = None):
+        yield from self.job.collectives.barrier(self, comm or self.world)

@@ -1,0 +1,210 @@
+"""Job runner: wires the cluster, network, power and MPI layers together
+and executes one rank-program across all ranks.
+
+Typical use::
+
+    job = MpiJob(n_ranks=64)
+    result = job.run(my_program, arg1, arg2)
+    print(result.duration_s, result.energy_kj)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..cluster.affinity import AffinityMap, AffinityPolicy
+from ..cluster.cpu import Activity
+from ..cluster.specs import ClusterSpec
+from ..cluster.topology import Cluster
+from ..network.ibnet import IBNetwork
+from ..network.params import NetworkSpec
+from ..power.accounting import EnergyAccountant
+from ..power.meter import PowerMeter, PowerTrace
+from ..power.model import PowerModel, PowerModelParams
+from ..sim import Environment, Event
+from .communicator import CommLayout, CommunicatorFactory
+from .context import RankContext
+from .p2p import MessageEngine, ProgressMode
+
+#: A rank program: generator function taking (ctx, *args, **kwargs).
+RankProgram = Callable[..., Any]
+
+
+@dataclass
+class JobStats:
+    """Counters accumulated over a run."""
+
+    dvfs_transitions: int = 0
+    throttle_transitions: int = 0
+    #: Accumulated wall time per instrumented collective phase, e.g.
+    #: "bcast.network" (used for Fig 2b/2c reproduction).
+    phase_times: Dict[str, float] = field(default_factory=dict)
+
+    def add_phase(self, name: str, dt: float) -> None:
+        self.phase_times[name] = self.phase_times.get(name, 0.0) + dt
+
+
+@dataclass
+class JobResult:
+    """Outcome of :meth:`MpiJob.run`."""
+
+    duration_s: float
+    rank_finish_times: List[float]
+    returns: List[Any]
+    energy_j: float
+    accountant: EnergyAccountant
+    stats: JobStats
+    job: "MpiJob"
+
+    @property
+    def energy_kj(self) -> float:
+        return self.energy_j / 1e3
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_j / self.duration_s if self.duration_s > 0 else 0.0
+
+    def power_trace(self, interval_s: float = PowerMeter.DEFAULT_INTERVAL_S) -> PowerTrace:
+        """Sampled system power over the run (the paper's meter view)."""
+        return PowerMeter(interval_s).sample(self.accountant)
+
+
+class MpiJob:
+    """One simulated MPI execution on a freshly built cluster."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        cluster_spec: Optional[ClusterSpec] = None,
+        network_spec: Optional[NetworkSpec] = None,
+        power_params: Optional[PowerModelParams] = None,
+        affinity: AffinityPolicy = AffinityPolicy.BUNCH,
+        progress: ProgressMode = ProgressMode.POLLING,
+        collectives: Optional["CollectiveEngine"] = None,  # noqa: F821
+        keep_segments: bool = True,
+    ):
+        from ..collectives.registry import CollectiveEngine  # local: avoid cycle
+
+        self.n_ranks = n_ranks
+        self.env = Environment()
+        self.cluster = Cluster(cluster_spec or ClusterSpec.paper_testbed())
+        self.affinity = AffinityMap(self.cluster, n_ranks, policy=affinity)
+        self.net = IBNetwork(self.env, self.cluster, network_spec)
+        self.progress = progress
+        if progress is ProgressMode.BLOCKING:
+            factor = self.net.spec.blocking_nic_factor
+            for node_id in self.net.progress_factor:
+                self.net.progress_factor[node_id] = factor
+        self.power_model = PowerModel(power_params)
+        self.accountant = EnergyAccountant(
+            self.cluster, self.power_model, keep_segments=keep_segments
+        )
+        self.engine = MessageEngine(self.env, self.net, self.affinity, progress)
+        self._comm_factory = CommunicatorFactory()
+        self.layout = CommLayout.build(self._comm_factory, self.affinity)
+        self.collectives = collectives or CollectiveEngine()
+        self.stats = JobStats()
+        self.contexts = [RankContext(self, r) for r in range(n_ranks)]
+        self._flags: Dict[Tuple[int, str], Event] = {}
+        self._flag_counts: Dict[Tuple[int, str], int] = {}
+        self._splits: Dict[Tuple[int, int], Dict] = {}
+        self._ran = False
+
+    # -- node-local flags (shared-memory words used for phase coordination) ----
+    def node_flag(self, node_id: int, name: str) -> Event:
+        key = (node_id, name)
+        if key not in self._flags:
+            self._flags[key] = self.env.event()
+        return self._flags[key]
+
+    def register_split(self, comm, seq: int, world_rank: int, color, key):
+        """Collect one rank's (color, key) for an MPI_Comm_split; once all
+        members have arrived, build the sub-communicators and fire the
+        completion event.  Returns the shared split record."""
+        split_key = (comm.comm_id, seq)
+        record = self._splits.setdefault(
+            split_key, {"event": self.env.event(), "members": {}, "comms": {}}
+        )
+        if world_rank in record["members"]:  # pragma: no cover - defensive
+            raise RuntimeError("rank arrived twice at the same comm_split")
+        record["members"][world_rank] = (color, key)
+        if len(record["members"]) == comm.size:
+            by_color: Dict = {}
+            for rank, (col, k) in record["members"].items():
+                if col is None:
+                    continue
+                by_color.setdefault(col, []).append((k, rank))
+            for col, entries in sorted(by_color.items(), key=lambda kv: str(kv[0])):
+                ranks = [rank for _, rank in sorted(entries)]
+                new_comm = self._comm_factory.create(
+                    ranks, name=f"{comm.name}.split{seq}.{col}"
+                )
+                for rank in ranks:
+                    record["comms"][rank] = new_comm
+            record["event"].succeed()
+        return record
+
+    def node_flag_arrive(self, node_id: int, name: str, expected: int) -> None:
+        """Counting flag: fires once ``expected`` ranks have arrived."""
+        key = (node_id, name)
+        count = self._flag_counts.get(key, 0) + 1
+        self._flag_counts[key] = count
+        if count == expected:
+            self.node_flag(node_id, name).succeed(self.env.now)
+        elif count > expected:  # pragma: no cover - defensive
+            raise RuntimeError(f"flag {key} over-arrived")
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, program: RankProgram, *args: Any, **kwargs: Any) -> JobResult:
+        """Run ``program`` on every rank and account time + energy."""
+        if self._ran:
+            raise RuntimeError("an MpiJob can only run once; build a new one")
+        self._ran = True
+        finish_times: List[float] = [0.0] * self.n_ranks
+        returns: List[Any] = [None] * self.n_ranks
+
+        def wrapper(ctx: RankContext):
+            ctx.core.set_activity(Activity.POLLING, self.env.now)
+            value = yield from program(ctx, *args, **kwargs)
+            ctx.core.set_activity(Activity.IDLE, self.env.now)
+            finish_times[ctx.rank] = self.env.now
+            returns[ctx.rank] = value
+
+        for ctx in self.contexts:
+            self.env.process(wrapper(ctx), name=f"rank{ctx.rank}")
+        self.env.run()
+        if not self.engine.quiescent():
+            raise RuntimeError(
+                "job finished with unmatched messages (deadlock or missing recv)"
+            )
+        end = max(finish_times) if finish_times else self.env.now
+        self.accountant.finalize(end)
+        return JobResult(
+            duration_s=end,
+            rank_finish_times=finish_times,
+            returns=returns,
+            energy_j=self.accountant.total_energy_j(),
+            accountant=self.accountant,
+            stats=self.stats,
+            job=self,
+        )
+
+
+def run_collective_once(
+    op: str,
+    nbytes: int,
+    n_ranks: int = 64,
+    **job_kwargs: Any,
+) -> JobResult:
+    """Convenience: run a single collective of ``nbytes`` across ``n_ranks``.
+
+    ``op`` is any collective name on :class:`RankContext` (e.g. "alltoall",
+    "bcast").  Used heavily by tests and benchmarks.
+    """
+    job = MpiJob(n_ranks, **job_kwargs)
+
+    def program(ctx: RankContext):
+        yield from getattr(ctx, op)(nbytes)
+
+    return job.run(program)

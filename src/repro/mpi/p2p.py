@@ -1,0 +1,226 @@
+"""Point-to-point messaging: matching, eager/rendezvous protocols, timing.
+
+The engine reproduces MVAPICH2's two-protocol design:
+
+* **eager** (≤ ``eager_threshold``): the sender fires and forgets; the
+  payload travels immediately and is queued as *unexpected* if no receive
+  is posted yet.
+* **rendezvous** (large): sender and receiver must both arrive; an RTS/CTS
+  round-trip precedes the bulk transfer, and both sides complete when the
+  RDMA transfer does.
+
+Intra-node messages use the shared-memory channel in polling mode; in
+blocking mode they fall back to the HCA loopback (paper §II-B: blocking
+mode "falls back to the network loop-back based communication instead of
+using the shared-memory channels").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.affinity import AffinityMap
+from ..network.ibnet import IBNetwork
+from ..sim import Environment, Event
+from .communicator import Communicator
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class ProgressMode(enum.Enum):
+    """Message progression strategy (§II-B)."""
+
+    POLLING = "polling"
+    BLOCKING = "blocking"
+
+
+class _Send:
+    __slots__ = ("src", "dst", "tag", "comm_id", "nbytes", "posted_at", "done")
+
+    def __init__(self, src, dst, tag, comm_id, nbytes, posted_at, done):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.comm_id = comm_id
+        self.nbytes = nbytes
+        self.posted_at = posted_at
+        self.done = done
+
+
+class _Recv:
+    __slots__ = ("src", "dst", "tag", "comm_id", "posted_at", "done")
+
+    def __init__(self, src, dst, tag, comm_id, posted_at, done):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.comm_id = comm_id
+        self.posted_at = posted_at
+        self.done = done
+
+    def matches(self, src: int, tag: int) -> bool:
+        return (self.src in (ANY_SOURCE, src)) and (self.tag in (ANY_TAG, tag))
+
+
+class MessageEngine:
+    """Per-job matching engine and transfer scheduler."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: IBNetwork,
+        affinity: AffinityMap,
+        progress: ProgressMode = ProgressMode.POLLING,
+    ):
+        self.env = env
+        self.net = net
+        self.spec = net.spec
+        self.affinity = affinity
+        self.progress = progress
+        # Keyed by (comm_id, dst_world_rank).
+        self._posted_recvs: Dict[Tuple[int, int], List[_Recv]] = {}
+        self._unexpected: Dict[Tuple[int, int], List[_Send]] = {}
+        self._pending_rndv: Dict[Tuple[int, int], List[_Send]] = {}
+        #: Message counter for observability/tests.
+        self.messages_sent = 0
+
+    # -- public API ----------------------------------------------------------
+    def post_send(
+        self, src: int, dst: int, nbytes: int, tag: int, comm: Communicator
+    ) -> Event:
+        """Register a send; returns the sender-completion event."""
+        if not comm.contains(src) or not comm.contains(dst):
+            raise ValueError(f"ranks {src}->{dst} not both in {comm.name}")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if tag < 0:
+            raise ValueError("send tag must be >= 0")
+        done = self.env.event()
+        send = _Send(src, dst, tag, comm.comm_id, nbytes, self.env.now, done)
+        self.messages_sent += 1
+        if nbytes <= self.spec.eager_threshold:
+            # Eager: sender completes immediately; payload travels now.
+            done.succeed(self.env.now)
+            self.env.process(self._deliver_eager(send), name=f"eager{src}->{dst}")
+        else:
+            recv = self._match_posted_recv(send)
+            if recv is not None:
+                self.env.process(
+                    self._rendezvous(send, recv), name=f"rndv{src}->{dst}"
+                )
+            else:
+                key = (send.comm_id, send.dst)
+                self._pending_rndv.setdefault(key, []).append(send)
+        return done
+
+    def post_recv(
+        self, dst: int, src: int, tag: int, comm: Communicator
+    ) -> Event:
+        """Register a receive; the event fires with (src, tag, nbytes)."""
+        if not comm.contains(dst):
+            raise ValueError(f"rank {dst} not in {comm.name}")
+        if src != ANY_SOURCE and not comm.contains(src):
+            raise ValueError(f"source {src} not in {comm.name}")
+        done = self.env.event()
+        recv = _Recv(src, dst, tag, comm.comm_id, self.env.now, done)
+        key = (comm.comm_id, dst)
+        # 1. Already-arrived eager message?
+        arrived = self._unexpected.get(key, [])
+        for i, send in enumerate(arrived):
+            if recv.matches(send.src, send.tag):
+                arrived.pop(i)
+                self._complete_recv(recv, send)
+                return done
+        # 2. Waiting rendezvous sender?
+        rndv = self._pending_rndv.get(key, [])
+        for i, send in enumerate(rndv):
+            if recv.matches(send.src, send.tag):
+                rndv.pop(i)
+                self.env.process(
+                    self._rendezvous(send, recv), name=f"rndv{send.src}->{dst}"
+                )
+                return done
+        # 3. Park.
+        self._posted_recvs.setdefault(key, []).append(recv)
+        return done
+
+    # -- matching helpers ------------------------------------------------------
+    def _match_posted_recv(self, send: _Send) -> Optional[_Recv]:
+        key = (send.comm_id, send.dst)
+        posted = self._posted_recvs.get(key, [])
+        for i, recv in enumerate(posted):
+            if recv.matches(send.src, send.tag):
+                return posted.pop(i)
+        return None
+
+    def _complete_recv(self, recv: _Recv, send: _Send) -> None:
+        recv.done.succeed((send.src, send.tag, send.nbytes))
+
+    # -- timing ------------------------------------------------------------------
+    def _path_params(self, send: _Send):
+        """Resolve (latency, links, cpu_cap) for a message."""
+        src_node = self.affinity.node_of(send.src)
+        dst_node = self.affinity.node_of(send.dst)
+        src_core = self.affinity.core_of(send.src)
+        dst_core = self.affinity.core_of(send.dst)
+        pair_speed = min(src_core.speed_factor, dst_core.speed_factor)
+        if src_node == dst_node and self.progress is ProgressMode.POLLING:
+            latency = self.spec.shm_latency
+            links = [self.net.mem(src_node)]
+            fmax = src_core.spec.fmax
+            copy_factor = min(
+                self.spec.shm_copy_factor(c.frequency_ghz / fmax, c.duty)
+                for c in (src_core, dst_core)
+            )
+            # Cross-socket pairs pay the QPI hop (Nehalem NUMA).
+            pair_bw = (
+                self.spec.shm_bw
+                if src_core.socket_id == dst_core.socket_id
+                else self.spec.shm_bw_cross_socket
+            )
+            cap = pair_bw * copy_factor
+        elif src_node == dst_node:
+            # Blocking mode: HCA loopback.
+            latency = self.spec.inter_node_latency
+            links = self.net.loopback_path(src_node)
+            cap = self.spec.cpu_feed_bw * pair_speed
+        else:
+            latency = self.spec.inter_node_latency
+            links = self.net.inter_node_path(src_node, dst_node)
+            cap = self.spec.cpu_feed_bw * pair_speed
+        return latency, links, cap
+
+    def _deliver_eager(self, send: _Send):
+        latency, links, cap = self._path_params(send)
+        yield self.env.timeout(latency)
+        if send.nbytes > 0:
+            yield self.net.fabric.transfer(
+                links, send.nbytes, cpu_cap=cap, label=f"e{send.src}->{send.dst}"
+            )
+        recv = self._match_posted_recv(send)
+        if recv is not None:
+            self._complete_recv(recv, send)
+        else:
+            key = (send.comm_id, send.dst)
+            self._unexpected.setdefault(key, []).append(send)
+
+    def _rendezvous(self, send: _Send, recv: _Recv):
+        latency, links, cap = self._path_params(send)
+        # RTS/CTS handshake round-trip before the bulk transfer.
+        yield self.env.timeout(latency * self.spec.rndv_rtt_factor)
+        yield self.net.fabric.transfer(
+            links, send.nbytes, cpu_cap=cap, label=f"r{send.src}->{send.dst}"
+        )
+        send.done.succeed(self.env.now)
+        self._complete_recv(recv, send)
+
+    # -- introspection -------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """True when no unmatched sends or receives remain (end-of-job check)."""
+        return (
+            all(not v for v in self._posted_recvs.values())
+            and all(not v for v in self._unexpected.values())
+            and all(not v for v in self._pending_rndv.values())
+        )

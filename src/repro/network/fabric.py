@@ -1,0 +1,263 @@
+"""Flow-level network fabric with max-min fair bandwidth sharing.
+
+Every bulk transfer is a :class:`Flow` across an ordered set of
+:class:`Link` s (e.g. source NIC uplink → destination NIC downlink; or the
+node's memory link for shared-memory copies).  Whenever the flow population
+or a link capacity changes, all flow rates are recomputed with the classic
+max-min water-filling algorithm (respecting per-flow caps, which model the
+sending CPU's pipeline feed limit).
+
+This is where the paper's contention parameter ``Cnet`` comes from in our
+reproduction: it is *emergent* — eight ranks per node draining through one
+QDR HCA simply share 3 GB/s — rather than a fitted constant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim import Environment, Event
+from .params import NetworkSpec
+
+#: Residual bytes below which a flow is considered complete (far smaller
+#: than any datatype we transfer).
+_EPSILON_BYTES = 0.5
+
+
+class Link:
+    """A unidirectional capacity-constrained resource.
+
+    ``capacity_fn`` (if given) is consulted on every recomputation so that
+    capacities can track external state — the NIC links use it to follow
+    the node's DVFS level (uncore slowdown).
+    """
+
+    __slots__ = ("name", "base_capacity", "capacity_fn")
+
+    def __init__(
+        self,
+        name: str,
+        base_capacity: float,
+        capacity_fn: Optional[Callable[[], float]] = None,
+    ):
+        if base_capacity <= 0:
+            raise ValueError(f"link {name}: capacity must be positive")
+        self.name = name
+        self.base_capacity = base_capacity
+        self.capacity_fn = capacity_fn
+
+    @property
+    def capacity(self) -> float:
+        if self.capacity_fn is not None:
+            return self.capacity_fn()
+        return self.base_capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.capacity / 1e9:.2f} GB/s>"
+
+
+class Flow:
+    """One in-flight bulk transfer."""
+
+    __slots__ = ("links", "remaining", "rate", "cap", "event", "label")
+
+    def __init__(
+        self,
+        links: Tuple[Link, ...],
+        nbytes: float,
+        cap: float,
+        event: Event,
+        label: str = "",
+    ):
+        self.links = links
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.cap = cap
+        self.event = event
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Flow {self.label} rem={self.remaining:.0f}B rate={self.rate / 1e9:.2f}GB/s>"
+
+
+def maxmin_rates(
+    flows: Sequence[Flow],
+    capacities: Dict[Link, float],
+    congestion: float = 0.0,
+    congestion_saturation: int = 7,
+) -> Dict[Flow, float]:
+    """Max-min fair allocation with per-flow caps (water-filling).
+
+    Repeatedly finds the most constrained resource — either a link whose
+    fair share is smallest or a flow whose cap binds first — freezes the
+    affected flows at that rate, removes their demand, and iterates.
+
+    ``congestion`` degrades a link carrying n flows to
+    ``capacity / (1 + congestion·min(n−1, congestion_saturation))``
+    before sharing.
+    """
+    rates: Dict[Flow, float] = {}
+    if congestion > 0.0:
+        load: Dict[Link, int] = {}
+        for flow in flows:
+            for link in flow.links:
+                load[link] = load.get(link, 0) + 1
+        capacities = {
+            link: cap
+            / (1.0 + congestion * min(load.get(link, 1) - 1, congestion_saturation))
+            for link, cap in capacities.items()
+        }
+    residual = dict(capacities)
+    unfrozen = list(flows)
+    while unfrozen:
+        # Fair share per link among its unfrozen flows.
+        link_share: Dict[Link, float] = {}
+        counts: Dict[Link, int] = {}
+        for flow in unfrozen:
+            for link in flow.links:
+                counts[link] = counts.get(link, 0) + 1
+        for link, n in counts.items():
+            link_share[link] = residual[link] / n
+        bottleneck_share = min(link_share.values()) if link_share else math.inf
+        min_cap = min(f.cap for f in unfrozen)
+        if min_cap < bottleneck_share:
+            # Cap binds first: freeze all flows at that cap level.
+            level = min_cap
+            frozen = [f for f in unfrozen if f.cap <= level]
+        else:
+            level = bottleneck_share
+            tight = {l for l, s in link_share.items() if s <= level * (1 + 1e-12)}
+            frozen = [f for f in unfrozen if any(l in tight for l in f.links)]
+        for flow in frozen:
+            rate = min(level, flow.cap)
+            rates[flow] = rate
+            for link in flow.links:
+                residual[link] = max(0.0, residual[link] - rate)
+            unfrozen.remove(flow)
+    return rates
+
+
+class Fabric:
+    """Tracks all active flows and advances them through simulated time."""
+
+    def __init__(self, env: Environment, spec: NetworkSpec):
+        self.env = env
+        self.spec = spec
+        self._links: Dict[str, Link] = {}
+        self._flows: List[Flow] = []
+        self._last_settle = env.now
+        self._timer_generation = 0
+        #: Total bytes ever carried (observability / tests).
+        self.bytes_delivered = 0.0
+        #: Per-link counters: bytes carried and flows started (observability
+        #: for topology studies — e.g. traffic over rack uplinks).
+        self.link_bytes: Dict[str, float] = {}
+        self.link_flows: Dict[str, int] = {}
+
+    # -- link management -----------------------------------------------------
+    def add_link(
+        self,
+        name: str,
+        capacity: float,
+        capacity_fn: Optional[Callable[[], float]] = None,
+    ) -> Link:
+        if name in self._links:
+            raise ValueError(f"duplicate link {name}")
+        link = Link(name, capacity, capacity_fn)
+        self._links[name] = link
+        return link
+
+    def link(self, name: str) -> Link:
+        return self._links[name]
+
+    def has_link(self, name: str) -> bool:
+        return name in self._links
+
+    @property
+    def active_flows(self) -> List[Flow]:
+        return list(self._flows)
+
+    # -- transfers -------------------------------------------------------------
+    def transfer(
+        self,
+        links: Sequence[Link],
+        nbytes: float,
+        cpu_cap: float = math.inf,
+        label: str = "",
+    ) -> Event:
+        """Start a bulk transfer; the returned event fires at completion
+        with the completion time as its value."""
+        event = self.env.event()
+        if nbytes <= 0:
+            event.succeed(self.env.now)
+            return event
+        if not links:
+            raise ValueError("a transfer needs at least one link")
+        flow = Flow(tuple(links), nbytes, cpu_cap, event, label=label)
+        for link in flow.links:
+            self.link_bytes[link.name] = self.link_bytes.get(link.name, 0.0) + nbytes
+            self.link_flows[link.name] = self.link_flows.get(link.name, 0) + 1
+        self._settle()
+        self._flows.append(flow)
+        self._reallocate()
+        return event
+
+    def capacities_changed(self) -> None:
+        """Re-read link capacities (call after DVFS transitions)."""
+        if self._flows:
+            self._settle()
+            self._reallocate()
+
+    # -- internals ---------------------------------------------------------------
+    def _settle(self) -> None:
+        """Drain bytes at current rates from the last settle point to now."""
+        now = self.env.now
+        dt = now - self._last_settle
+        if dt > 0:
+            for flow in self._flows:
+                moved = flow.rate * dt
+                flow.remaining -= moved
+                self.bytes_delivered += moved
+        self._last_settle = now
+        # Complete anything that just finished.
+        done = [f for f in self._flows if f.remaining <= _EPSILON_BYTES]
+        if done:
+            for flow in done:
+                self.bytes_delivered += max(flow.remaining, 0.0)
+                flow.remaining = 0.0
+                self._flows.remove(flow)
+                flow.event.succeed(now)
+
+    def _reallocate(self) -> None:
+        """Recompute max-min rates and arm the next-completion timer."""
+        self._timer_generation += 1
+        if not self._flows:
+            return
+        capacities = {}
+        for flow in self._flows:
+            for link in flow.links:
+                if link not in capacities:
+                    capacities[link] = link.capacity
+        rates = maxmin_rates(
+            self._flows,
+            capacities,
+            self.spec.flow_congestion,
+            self.spec.flow_congestion_saturation,
+        )
+        next_done = math.inf
+        for flow in self._flows:
+            flow.rate = rates[flow]
+            if flow.rate > 0:
+                next_done = min(next_done, flow.remaining / flow.rate)
+        if math.isinf(next_done):  # pragma: no cover - all flows stalled
+            raise RuntimeError("fabric deadlock: active flows with zero rate")
+        generation = self._timer_generation
+        timer = self.env.timeout(next_done)
+        timer.callbacks.append(lambda _ev: self._on_timer(generation))
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # superseded by a newer reallocation
+        self._settle()
+        self._reallocate()

@@ -1,0 +1,21 @@
+"""Power modelling: P/T-state power function, energy accounting, metering."""
+
+from .accounting import EnergyAccountant, PowerSegment
+from .calibration import CalibrationResult, fit
+from .meter import PowerMeter, PowerTrace
+from .metrics import SchemeComparison, energy_delay_product, energy_delay_squared
+from .model import PowerModel, PowerModelParams
+
+__all__ = [
+    "CalibrationResult",
+    "EnergyAccountant",
+    "PowerMeter",
+    "PowerModel",
+    "PowerModelParams",
+    "PowerSegment",
+    "PowerTrace",
+    "SchemeComparison",
+    "energy_delay_product",
+    "energy_delay_squared",
+    "fit",
+]

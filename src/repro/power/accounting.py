@@ -1,0 +1,126 @@
+"""Energy accounting: integrates per-core power over the state timeline.
+
+The accountant registers itself as a state listener on every core.  Core
+state is piecewise-constant between mutations, so each notification closes
+one constant-power segment:
+
+    E += p(core state during segment) · (now − segment start)
+
+Segments are also recorded so the sampled :class:`repro.power.meter.
+PowerMeter` can reconstruct the kW-vs-time series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cluster.cpu import Core
+from ..cluster.topology import Cluster
+from .model import PowerModel
+
+
+@dataclass(frozen=True)
+class PowerSegment:
+    """A span of constant power on one core."""
+
+    core_id: int
+    start: float
+    end: float
+    power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.power_w * (self.end - self.start)
+
+
+class EnergyAccountant:
+    """Tracks per-core and whole-system energy for one simulation run."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model: Optional[PowerModel] = None,
+        start_time: float = 0.0,
+        keep_segments: bool = True,
+    ):
+        self.cluster = cluster
+        self.model = model or PowerModel()
+        self.start_time = start_time
+        self.keep_segments = keep_segments
+        self.segments: List[PowerSegment] = []
+        self._last_time: Dict[int, float] = {
+            core.core_id: start_time for core in cluster.cores
+        }
+        self._core_energy: Dict[int, float] = {
+            core.core_id: 0.0 for core in cluster.cores
+        }
+        self._finalized_at: Optional[float] = None
+        cluster.add_listener(self._on_change)
+
+    # -- listener ----------------------------------------------------------
+    def _on_change(self, core: Core, now: float) -> None:
+        """Close the segment that ends at ``now`` (core state is still the
+        *old* state when this is invoked)."""
+        last = self._last_time[core.core_id]
+        if now < last:  # pragma: no cover - defensive
+            raise ValueError(f"time went backwards for core {core.core_id}")
+        if now > last:
+            power = self.model.core_power(core)
+            self._core_energy[core.core_id] += power * (now - last)
+            if self.keep_segments:
+                self.segments.append(
+                    PowerSegment(core.core_id, last, now, power)
+                )
+        self._last_time[core.core_id] = now
+
+    # -- finalisation & queries ---------------------------------------------
+    def finalize(self, now: float) -> None:
+        """Close all open segments at ``now`` (end of the run)."""
+        for core in self.cluster.cores:
+            self._on_change(core, now)
+        self._finalized_at = now
+
+    @property
+    def finalized_at(self) -> Optional[float]:
+        return self._finalized_at
+
+    def core_energy_j(self, core_id: int) -> float:
+        """Energy consumed by one core so far (J)."""
+        return self._core_energy[core_id]
+
+    def cores_energy_j(self) -> float:
+        """Energy of all cores (J), excluding node base overhead."""
+        return sum(self._core_energy.values())
+
+    def node_base_energy_j(self, now: Optional[float] = None) -> float:
+        """Node-overhead energy from the accounting start to ``now``."""
+        end = now if now is not None else self._finalized_at
+        if end is None:
+            raise ValueError("pass `now` or call finalize() first")
+        return (
+            self.model.params.node_base_w
+            * self.cluster.n_nodes
+            * (end - self.start_time)
+        )
+
+    def total_energy_j(self, now: Optional[float] = None) -> float:
+        """Whole-system energy (J): cores + node overheads.
+
+        With ``now`` given, open segments are *not* included — call
+        :meth:`finalize` first for exact totals at end of run.
+        """
+        return self.cores_energy_j() + self.node_base_energy_j(now)
+
+    def total_energy_kj(self, now: Optional[float] = None) -> float:
+        """Convenience: total energy in kJ (the unit of Tables I and II)."""
+        return self.total_energy_j(now) / 1e3
+
+    def average_power_w(self) -> float:
+        """Mean system power over the finalized window (W)."""
+        if self._finalized_at is None:
+            raise ValueError("call finalize() first")
+        duration = self._finalized_at - self.start_time
+        if duration <= 0:
+            return 0.0
+        return self.total_energy_j() / duration

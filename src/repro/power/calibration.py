@@ -1,0 +1,81 @@
+"""Calibration of the power model against the paper's measurements.
+
+The paper reports (Figs 6b, 7b, 8b) whole-system clamp-meter readings for
+the 8-node / 64-core testbed during a 64-process MPI_Alltoall:
+
+* ≈ 2.3 kW — default algorithm, all cores polling at fmax (2.4 GHz), T0;
+* ≈ 1.8 kW — per-call DVFS ("Freq-Scaling"), all cores polling at fmin
+  (1.6 GHz), T0;
+* ≈ 1.6 kW — proposed algorithm, fmin with half the cores at T7 at any
+  instant (phases 2–4 of §V-A).
+
+Given the cubic form ``p_core = p_idle + b·f³`` and a node overhead
+``W_node``, the first two observations fix ``b`` (the node count and core
+count are known); picking the conventional Nehalem package overhead
+``W_node = 120 W`` then fixes ``p_idle``; the third observation fixes the
+throttle-gating fraction γ.  :func:`fit` reproduces this derivation so the
+test-suite can verify the shipped defaults really are the fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.specs import T7_ACTIVITY
+
+#: The paper's observed system powers (W) for the 64-core alltoall.
+PAPER_SYSTEM_W_DEFAULT = 2300.0
+PAPER_SYSTEM_W_DVFS = 1800.0
+PAPER_SYSTEM_W_PROPOSED = 1600.0
+
+#: Testbed shape those observations come from.
+PAPER_NODES = 8
+PAPER_CORES = 64
+PAPER_FMAX_GHZ = 2.40
+PAPER_FMIN_GHZ = 1.60
+
+#: Assumed (not fitted) non-CPU node overhead.
+DEFAULT_NODE_BASE_W = 120.0
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    core_idle_w: float
+    core_dyn_w_per_ghz3: float
+    node_base_w: float
+    throttle_gating: float
+
+    def core_power(self, freq_ghz: float) -> float:
+        return self.core_idle_w + self.core_dyn_w_per_ghz3 * freq_ghz**3
+
+    def system_power_all_polling(self, freq_ghz: float) -> float:
+        return PAPER_NODES * self.node_base_w + PAPER_CORES * self.core_power(freq_ghz)
+
+
+def fit(
+    node_base_w: float = DEFAULT_NODE_BASE_W,
+    w_default: float = PAPER_SYSTEM_W_DEFAULT,
+    w_dvfs: float = PAPER_SYSTEM_W_DVFS,
+    w_proposed: float = PAPER_SYSTEM_W_PROPOSED,
+) -> CalibrationResult:
+    """Solve the three-observation system described in the module docstring.
+
+    Returns the constants that :class:`repro.power.model.PowerModelParams`
+    ships as defaults (rounded there to 3 significant decimals).
+    """
+    f3max = PAPER_FMAX_GHZ**3
+    f3min = PAPER_FMIN_GHZ**3
+    # (1)-(2):  64·b·(fmax³ − fmin³) = w_default − w_dvfs
+    b = (w_default - w_dvfs) / (PAPER_CORES * (f3max - f3min))
+    # (2):      8·W_node + 64·(p_idle + b·fmin³) = w_dvfs
+    p_idle = (w_dvfs - PAPER_NODES * node_base_w) / PAPER_CORES - b * f3min
+    # (3): half the cores at T7: saving = 32·γ·(1−duty(T7))·p_core(fmin)
+    p_fmin = p_idle + b * f3min
+    saving = w_dvfs - w_proposed
+    gamma = saving / ((PAPER_CORES / 2) * (1.0 - T7_ACTIVITY) * p_fmin)
+    return CalibrationResult(
+        core_idle_w=p_idle,
+        core_dyn_w_per_ghz3=b,
+        node_base_w=node_base_w,
+        throttle_gating=gamma,
+    )

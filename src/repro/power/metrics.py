@@ -1,0 +1,81 @@
+"""Derived power-efficiency metrics.
+
+The paper reports raw energy (kJ) and runtime; the surrounding literature
+(its refs [8], [9]) evaluates the same trade-off through energy-delay
+products.  These helpers compute both views from any pair of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def energy_delay_product(energy_j: float, duration_s: float) -> float:
+    """EDP = E · t  (J·s): penalises saving energy by running longer."""
+    _check(energy_j, duration_s)
+    return energy_j * duration_s
+
+
+def energy_delay_squared(energy_j: float, duration_s: float) -> float:
+    """ED²P = E · t² (J·s²): the performance-weighted variant."""
+    _check(energy_j, duration_s)
+    return energy_j * duration_s**2
+
+
+def _check(energy_j: float, duration_s: float) -> None:
+    if energy_j < 0 or duration_s < 0:
+        raise ValueError("energy and duration must be >= 0")
+
+
+@dataclass(frozen=True)
+class SchemeComparison:
+    """Baseline-vs-scheme summary (e.g. Default vs Proposed)."""
+
+    baseline_energy_j: float
+    baseline_duration_s: float
+    scheme_energy_j: float
+    scheme_duration_s: float
+
+    @property
+    def energy_saving(self) -> float:
+        """Fractional energy saved (positive = scheme is better)."""
+        return 1.0 - self.scheme_energy_j / self.baseline_energy_j
+
+    @property
+    def slowdown(self) -> float:
+        """Fractional runtime increase (positive = scheme is slower)."""
+        return self.scheme_duration_s / self.baseline_duration_s - 1.0
+
+    @property
+    def edp_ratio(self) -> float:
+        """Scheme EDP / baseline EDP (<1 = net win under EDP)."""
+        return energy_delay_product(
+            self.scheme_energy_j, self.scheme_duration_s
+        ) / energy_delay_product(self.baseline_energy_j, self.baseline_duration_s)
+
+    @property
+    def ed2p_ratio(self) -> float:
+        """Scheme ED²P / baseline ED²P (<1 = win even performance-weighted)."""
+        return energy_delay_squared(
+            self.scheme_energy_j, self.scheme_duration_s
+        ) / energy_delay_squared(self.baseline_energy_j, self.baseline_duration_s)
+
+    def worthwhile(self, max_slowdown: float = 0.05) -> bool:
+        """The paper's acceptance criterion: saves energy within an
+        acceptable performance overhead."""
+        return self.energy_saving > 0 and self.slowdown <= max_slowdown + 1e-12
+
+    @classmethod
+    def from_results(cls, baseline, scheme) -> "SchemeComparison":
+        """Build from two objects exposing ``energy_j``/``duration_s``
+        (:class:`~repro.mpi.job.JobResult`) or ``energy_kj``/``total_time_s``
+        (:class:`~repro.apps.base.AppResult`)."""
+
+        def extract(r):
+            if hasattr(r, "energy_j"):
+                return r.energy_j, r.duration_s
+            return r.energy_kj * 1e3, r.total_time_s
+
+        be, bd = extract(baseline)
+        se, sd = extract(scheme)
+        return cls(be, bd, se, sd)

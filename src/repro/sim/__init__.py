@@ -1,0 +1,41 @@
+"""Deterministic discrete-event simulation core (SimPy-style, from scratch).
+
+Public surface::
+
+    env = Environment()
+    env.process(gen)          # start a coroutine process
+    yield env.timeout(1e-6)   # inside a process
+    env.run(until=...)
+"""
+
+from .engine import EmptySchedule, Environment, Infinity
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Resource, Signal, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Infinity",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Signal",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

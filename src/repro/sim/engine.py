@@ -1,0 +1,146 @@
+"""The discrete-event simulation engine.
+
+:class:`Environment` owns the clock and the event queue.  Model code is
+written as generator functions that ``yield`` events; see
+:mod:`repro.sim.events` for the event types.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env, out):
+...     yield env.timeout(3.0)
+...     out.append(env.now)
+>>> out = []
+>>> _ = env.process(hello(env, out))
+>>> env.run()
+>>> out
+[3.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .events import (
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+Infinity = float("inf")
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(SimulationError):
+    """Internal: unwinds :meth:`Environment.run` when the ``until`` event fires."""
+
+
+class Environment:
+    """Holds simulation time and the pending-event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds by convention
+        throughout this package).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock & introspection -------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between steps)."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Enqueue ``event`` to be processed ``delay`` after the current time."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self) -> None:
+        """Process the single next event; raises :class:`EmptySchedule` if none."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        event._run_callbacks()
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the queue drains, the clock passes ``until`` (number), or
+        the ``until`` event triggers (its value is returned)."""
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} lies in the past (now={self._now})")
+                stop = Timeout(self, at - self._now)
+            if stop.callbacks is None:  # already processed
+                return stop._value
+            stop.callbacks.append(_stop_simulation)
+        try:
+            while True:
+                self.step()
+        except EmptySchedule:
+            if stop is not None and not stop.triggered:
+                if isinstance(stop, Timeout):
+                    # Queue drained before the requested horizon: just advance
+                    # the clock to the horizon.
+                    self._now = self._now  # clock already at last event
+                    return None
+                raise SimulationError("run() ended before the awaited event fired")
+            return None
+        except StopSimulation as marker:
+            return marker.args[0]
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event (trigger it with ``succeed``/``fail``)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a process from ``generator`` and return its Process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event that fires once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event that fires once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+
+def _stop_simulation(event: Event) -> None:
+    raise StopSimulation(event._value)

@@ -1,0 +1,160 @@
+"""Shared-resource primitives built on the event core.
+
+Only what the rest of the package needs:
+
+* :class:`Store` — FIFO buffer of items with optional capacity; the MPI
+  shared-memory channel and several tests are built on it.
+* :class:`Resource` — counted resource with FIFO request/release, used to
+  model exclusive structures (e.g. a shared-memory region writer slot).
+* :class:`Signal` — a broadcast event that processes can wait on repeatedly
+  (used for throttle-up/down phase coordination inside power-aware
+  collectives).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from .engine import Environment
+from .events import Event, URGENT
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+
+class Store:
+    """FIFO item buffer with blocking put/get.
+
+    ``capacity`` bounds the number of stored items; ``put`` on a full store
+    parks the producer until space frees up.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Event that fires once ``item`` has entered the store."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._trigger()
+        return event
+
+    def get(self) -> StoreGet:
+        """Event that fires with the oldest item once one is available."""
+        event = StoreGet(self.env)
+        self._getters.append(event)
+        self._trigger()
+        return event
+
+    def _trigger(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and len(self.items) < self.capacity:
+                putter = self._putters.popleft()
+                self.items.append(putter.item)
+                putter.succeed(priority=URGENT)
+                progress = True
+            if self._getters and self.items:
+                getter = self._getters.popleft()
+                getter.succeed(self.items.pop(0), priority=URGENT)
+                progress = True
+
+
+class ResourceRequest(Event):
+    __slots__ = ("resource", "_released")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self._released = False
+
+    def release(self) -> None:
+        """Give the slot back (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        self.resource._release(self)
+
+    # Allow `with resource.request() as req: yield req`
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class Resource:
+    """Counted resource with FIFO granting semantics."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[ResourceRequest] = []
+        self._waiters: Deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> ResourceRequest:
+        """Event that fires once a slot is granted to the caller."""
+        req = ResourceRequest(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(priority=URGENT)
+        else:
+            self._waiters.append(req)
+        return req
+
+    def _release(self, req: ResourceRequest) -> None:
+        if req in self.users:
+            self.users.remove(req)
+        elif req in self._waiters:  # released before ever granted
+            self._waiters.remove(req)
+            return
+        if self._waiters and len(self.users) < self.capacity:
+            nxt = self._waiters.popleft()
+            self.users.append(nxt)
+            nxt.succeed(priority=URGENT)
+
+
+class Signal:
+    """A re-armable broadcast: ``wait()`` returns an event for the *next*
+    :meth:`fire`; every waiter registered before the fire is released.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._event = Event(env)
+
+    def wait(self) -> Event:
+        """Event that fires at the next :meth:`fire` call."""
+        return self._event
+
+    def fire(self, value: Any = None) -> None:
+        """Release all current waiters and re-arm."""
+        event, self._event = self._event, Event(self.env)
+        event.succeed(value)

@@ -1,0 +1,41 @@
+"""NAS CG as a negative control: allreduce-dominated codes barely benefit
+from the paper's alltoall/bcast-focused power schemes."""
+
+import pytest
+
+from repro.apps import CG_CLASSES, run_app, synthesize_cg, synthesize_ft
+from repro.collectives import PowerMode
+
+
+def test_cg_classes_known():
+    assert "B" in CG_CLASSES
+    with pytest.raises(ValueError):
+        synthesize_cg("Z", 32)
+    with pytest.raises(ValueError):
+        synthesize_cg("B", 0)
+
+
+def test_cg_runs_and_is_compute_dominated():
+    app = synthesize_cg("B", 32, sim_iterations=2)
+    r = run_app(app, 32)
+    assert r.total_time_s > 0
+    # CG has no alltoall at all.
+    assert r.alltoall_time_s == 0
+
+
+def test_cg_saving_small_and_overhead_negligible():
+    app = synthesize_cg("B", 32, sim_iterations=2)
+    base = run_app(app, 32)
+    prop = run_app(app, 32, PowerMode.PROPOSED)
+    saving = 1 - prop.energy_kj / base.energy_kj
+    assert 0.0 <= saving < 0.05  # nothing like FT/IS's 5-8%
+    assert prop.total_time_s / base.total_time_s < 1.02
+
+
+def test_ft_saves_much_more_than_cg():
+    """The contrast that motivates the paper's focus on alltoall codes."""
+    cg = synthesize_cg("B", 32, sim_iterations=2)
+    ft = synthesize_ft("B", 32, sim_iterations=2)
+    cg_saving = 1 - run_app(cg, 32, PowerMode.PROPOSED).energy_kj / run_app(cg, 32).energy_kj
+    ft_saving = 1 - run_app(ft, 32, PowerMode.PROPOSED).energy_kj / run_app(ft, 32).energy_kj
+    assert ft_saving > 2 * cg_saving

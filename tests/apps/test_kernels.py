@@ -1,0 +1,87 @@
+"""Tests for the first-principles NAS kernel generators."""
+
+import pytest
+
+from repro.apps import (
+    FT_CLASSES,
+    IS_CLASSES,
+    ft_shape,
+    is_shape,
+    synthesize_ft,
+    synthesize_is,
+    run_app,
+)
+from repro.collectives import PowerMode
+
+
+def test_ft_shape_class_c_matches_grid():
+    shape = ft_shape("C", 64)
+    assert shape.total_bytes == 512**3 * 16
+    assert shape.alltoall_per_pair == 512**3 * 16 // (64 * 64)
+    assert shape.iterations == 20
+
+
+def test_ft_shape_case_insensitive():
+    assert ft_shape("c", 64) == ft_shape("C", 64)
+
+
+def test_ft_unknown_class_rejected():
+    with pytest.raises(ValueError):
+        ft_shape("Z", 64)
+    with pytest.raises(ValueError):
+        ft_shape("C", 0)
+
+
+def test_ft_strong_scaling_halves_compute():
+    s32 = ft_shape("C", 32)
+    s64 = ft_shape("C", 64)
+    assert s64.compute_per_iter_s == pytest.approx(s32.compute_per_iter_s / 2)
+    assert s64.alltoall_per_pair == pytest.approx(s32.alltoall_per_pair / 4, rel=0.01)
+
+
+def test_ft_class_ladder_monotone():
+    sizes = [ft_shape(k, 64).total_bytes for k in ("S", "W", "A", "B", "C", "D")]
+    assert sizes == sorted(sizes)
+
+
+def test_is_shape_class_c():
+    shape = is_shape("C", 64)
+    assert shape.total_bytes == (1 << 27) * 4
+    assert shape.iterations == 10
+
+
+def test_is_unknown_class_rejected():
+    with pytest.raises(ValueError):
+        is_shape("Q", 64)
+
+
+def test_synthetic_ft_class_c_near_paper_runtime():
+    """The derived class-C profile should land near the Table II implied
+    ~7.4 s at 64 ranks (within 2x — it is a first-principles estimate)."""
+    app = synthesize_ft("C", 64, sim_iterations=2)
+    r = run_app(app, 64)
+    assert 4.0 < r.total_time_s < 15.0
+    assert 0.1 < r.alltoall_fraction < 0.6
+
+
+def test_synthetic_small_class_runs_fast_and_saves_energy():
+    app = synthesize_ft("A", 32, sim_iterations=2)
+    base = run_app(app, 32)
+    prop = run_app(app, 32, PowerMode.PROPOSED)
+    assert prop.energy_kj < base.energy_kj
+
+
+def test_synthetic_is_runs():
+    app = synthesize_is("A", 32, sim_iterations=2)
+    r = run_app(app, 32)
+    assert r.total_time_s > 0
+    assert r.alltoall_time_s > 0
+
+
+def test_generated_app_spec_shape():
+    app = synthesize_ft("B", 64)
+    profile = app.profile(64)
+    assert profile.iterations == FT_CLASSES["B"][1]
+    assert profile.sim_iterations <= profile.iterations
+    app2 = synthesize_is("B", 64)
+    assert app2.profile(64).iterations == IS_CLASSES["B"][1]

@@ -1,0 +1,94 @@
+"""Tests for the application profile machinery."""
+
+import pytest
+
+from repro.apps import (
+    AppSpec,
+    CPMD_DATASETS,
+    CollectiveCall,
+    ComputeEvent,
+    NAS_FT,
+    NAS_IS,
+    RankProfile,
+    app_from_trace,
+)
+
+
+def test_collective_call_validation():
+    with pytest.raises(ValueError):
+        CollectiveCall("fft", 1024)  # unknown op
+    with pytest.raises(ValueError):
+        CollectiveCall("alltoall", -1)
+    with pytest.raises(ValueError):
+        CollectiveCall("alltoall", 1024, count=0)
+    with pytest.raises(ValueError):
+        CollectiveCall("alltoallv", 1024, skew=1.5)
+
+
+def test_rank_profile_validation():
+    call = (CollectiveCall("alltoall", 1024),)
+    with pytest.raises(ValueError):
+        RankProfile(64, iterations=2, sim_iterations=5,
+                    compute_per_iter_s=1.0, calls_per_iter=call)
+    with pytest.raises(ValueError):
+        RankProfile(64, iterations=5, sim_iterations=2,
+                    compute_per_iter_s=-1.0, calls_per_iter=call)
+
+
+def test_profile_scale():
+    p = RankProfile(64, iterations=20, sim_iterations=4,
+                    compute_per_iter_s=1.0,
+                    calls_per_iter=(CollectiveCall("alltoall", 1024),))
+    assert p.scale == 5.0
+
+
+def test_app_spec_lookup():
+    assert NAS_FT.profile(32).ranks == 32
+    assert NAS_FT.profile(64).ranks == 64
+    with pytest.raises(ValueError):
+        NAS_FT.profile(128)
+
+
+def test_shipped_profiles_have_both_rank_counts():
+    for app in (NAS_FT, NAS_IS, *CPMD_DATASETS):
+        assert set(app.variants) == {32, 64}
+        for n, p in app.variants.items():
+            assert p.ranks == n
+            assert p.sim_iterations <= p.iterations
+            assert any(
+                c.op.startswith("alltoall") for c in p.calls_per_iter
+            ), f"{app.name} must be alltoall-dominated (paper §VII-F)"
+
+
+def test_strong_scaling_profiles_shrink_messages():
+    """More ranks → smaller per-pair alltoall messages (strong scaling)."""
+    for app in (NAS_FT, *CPMD_DATASETS):
+        m32 = next(
+            c.nbytes for c in app.profile(32).calls_per_iter if c.op == "alltoall"
+        )
+        m64 = next(
+            c.nbytes for c in app.profile(64).calls_per_iter if c.op == "alltoall"
+        )
+        assert m64 < m32
+
+
+def test_app_from_trace_merges_compute():
+    app = app_from_trace(
+        "t", 64,
+        [ComputeEvent(0.1), CollectiveCall("alltoall", 1024), ComputeEvent(0.2)],
+        iterations=8,
+    )
+    p = app.profile(64)
+    assert p.compute_per_iter_s == pytest.approx(0.3)
+    assert len(p.calls_per_iter) == 1
+    assert p.sim_iterations == 4
+
+
+def test_app_from_trace_rejects_empty():
+    with pytest.raises(ValueError):
+        app_from_trace("t", 64, [], iterations=1)
+
+
+def test_compute_event_validation():
+    with pytest.raises(ValueError):
+        ComputeEvent(-1.0)

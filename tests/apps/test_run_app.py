@@ -1,0 +1,73 @@
+"""Integration tests for application runs (kept small for speed: a tiny
+synthetic app exercises the machinery; one NAS IS run checks the paper
+numbers end-to-end)."""
+
+import pytest
+
+from repro.apps import (
+    CollectiveCall,
+    ComputeEvent,
+    NAS_IS,
+    app_from_trace,
+    run_app,
+)
+from repro.collectives import PowerMode
+
+TINY = app_from_trace(
+    "tiny",
+    16,
+    [
+        ComputeEvent(2e-3),
+        CollectiveCall("alltoall", 64 << 10),
+        CollectiveCall("allreduce", 1024),
+    ],
+    iterations=6,
+    sim_iterations=2,
+)
+
+
+def test_run_app_extrapolates_linearly():
+    r = run_app(TINY, 16)
+    sim = r.sim
+    assert r.total_time_s == pytest.approx(sim.duration_s * 3)
+    assert r.energy_kj == pytest.approx(sim.energy_j * 3 / 1e3)
+
+
+def test_run_app_tracks_alltoall_time():
+    r = run_app(TINY, 16)
+    assert 0 < r.alltoall_time_s < r.total_time_s
+    assert 0 < r.alltoall_fraction < 1
+
+
+def test_run_app_sizes_cluster_to_ranks():
+    r = run_app(TINY, 16)
+    assert r.sim.job.cluster.n_nodes == 2  # 16 ranks / 8 cores per node
+
+
+def test_run_app_power_modes_ordering():
+    energies = {}
+    for mode in PowerMode:
+        energies[mode] = run_app(TINY, 16, mode).energy_kj
+    assert energies[PowerMode.PROPOSED] < energies[PowerMode.NONE]
+    assert energies[PowerMode.DVFS] < energies[PowerMode.NONE]
+
+
+def test_run_app_unknown_rank_count():
+    with pytest.raises(ValueError):
+        run_app(TINY, 64)
+
+
+def test_nas_is_matches_table2_default():
+    """End-to-end: NAS IS at 64 ranks lands on the paper's Table II row."""
+    r = run_app(NAS_IS, 64)
+    assert r.energy_kj == pytest.approx(3.8456, rel=0.05)
+    assert r.total_time_s == pytest.approx(1.67, rel=0.08)
+
+
+def test_nas_is_proposed_saves_energy():
+    base = run_app(NAS_IS, 64)
+    prop = run_app(NAS_IS, 64, PowerMode.PROPOSED)
+    saving = 1 - prop.energy_kj / base.energy_kj
+    assert 0.02 < saving < 0.12  # paper: ~8%
+    # Runtime cost stays in the paper's 2-5% band (we allow up to 8%).
+    assert prop.total_time_s / base.total_time_s < 1.08

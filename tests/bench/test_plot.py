@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.plot import ascii_chart, chart_from_rows
+
+
+def test_basic_chart_renders():
+    text = ascii_chart([1, 2, 3], [[1.0, 2.0, 3.0]], title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "*" in text
+    assert "3" in text  # max label
+    assert "1" in text  # min label
+
+
+def test_multiple_series_distinct_glyphs():
+    text = ascii_chart([1, 2], [[1.0, 2.0], [2.0, 1.0]], labels=["a", "b"])
+    assert "*" in text
+    assert "o" in text
+    assert "* a" in text
+    assert "o b" in text
+
+
+def test_monotone_series_plots_monotone():
+    """Higher values land on higher rows."""
+    text = ascii_chart([1, 2, 3, 4], [[1, 2, 3, 4]], width=8, height=4)
+    rows = [l.split("|")[1] for l in text.splitlines() if "|" in l]
+    first_col = next(i for i, ch in enumerate(rows[-1]) if ch == "*")
+    last_col = next(i for i, ch in enumerate(rows[0]) if ch == "*")
+    assert first_col < last_col  # min at bottom-left, max at top-right
+
+
+def test_log_axes():
+    text = ascii_chart(
+        [1024, 1 << 20], [[10.0, 1000.0]], logx=True, logy=True
+    )
+    assert "|" in text
+    with pytest.raises(ValueError):
+        ascii_chart([0, 1], [[1, 2]], logx=True)
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], [[0, 2]], logy=True)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], [[1.0]])
+    with pytest.raises(ValueError):
+        ascii_chart([], [[]])
+
+
+def test_flat_series_does_not_crash():
+    text = ascii_chart([1, 2, 3], [[5.0, 5.0, 5.0]])
+    assert "*" in text
+
+
+def test_chart_from_rows_parses_size_labels():
+    rows = [("16K", 10.0, 12.0), ("64K", 40.0, 45.0), ("1M", 600.0, 700.0)]
+    text = chart_from_rows(
+        rows, y_columns=[1, 2], labels=["a", "b"], logx=True, logy=True
+    )
+    assert "* a" in text
+    assert "o b" in text
+
+
+def test_chart_from_rows_numeric_x():
+    rows = [(0.5, 2.3), (1.0, 2.3), (1.5, 1.8)]
+    text = chart_from_rows(rows, y_columns=[1])
+    assert "|" in text

@@ -1,0 +1,94 @@
+"""Tests for the regression-baseline machinery."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    RegressionError,
+    check_against_baseline,
+    refresh_baselines,
+    save_json,
+)
+from repro.bench.regression import compare_rows
+
+
+HEADERS = ["Size", "Latency (us)"]
+ROWS = [["16K", 100.0], ["1M", 5000.0]]
+
+
+def test_compare_rows_identical():
+    assert compare_rows(ROWS, ROWS) == []
+
+
+def test_compare_rows_within_tolerance():
+    drifted = [["16K", 110.0], ["1M", 4500.0]]
+    assert compare_rows(ROWS, drifted, rel_tol=0.25) == []
+
+
+def test_compare_rows_beyond_tolerance():
+    broken = [["16K", 100.0], ["1M", 9000.0]]
+    problems = compare_rows(ROWS, broken, rel_tol=0.25)
+    assert len(problems) == 1
+    assert "row 1" in problems[0]
+
+
+def test_compare_rows_label_change_detected():
+    relabelled = [["32K", 100.0], ["1M", 5000.0]]
+    assert compare_rows(ROWS, relabelled)
+
+
+def test_compare_rows_shape_changes():
+    assert compare_rows(ROWS, ROWS[:1])
+    assert compare_rows(ROWS, [["16K"], ["1M", 5000.0]])
+
+
+def test_check_against_baseline_roundtrip(tmp_path):
+    save_json("exp", HEADERS, ROWS, results_dir=str(tmp_path))
+    assert check_against_baseline("exp", HEADERS, ROWS, str(tmp_path))
+
+
+def test_check_missing_baseline_is_noop(tmp_path):
+    assert check_against_baseline("nope", HEADERS, ROWS, str(tmp_path)) is False
+
+
+def test_check_header_change_raises(tmp_path):
+    save_json("exp", HEADERS, ROWS, results_dir=str(tmp_path))
+    with pytest.raises(RegressionError, match="headers changed"):
+        check_against_baseline("exp", ["Other"], [[1]], str(tmp_path))
+
+
+def test_check_divergence_raises(tmp_path):
+    save_json("exp", HEADERS, ROWS, results_dir=str(tmp_path))
+    broken = [["16K", 100.0], ["1M", 50000.0]]
+    with pytest.raises(RegressionError, match="diverged"):
+        check_against_baseline("exp", HEADERS, broken, str(tmp_path))
+
+
+def test_refresh_baselines(tmp_path):
+    results = tmp_path / "results"
+    expected = tmp_path / "expected"
+    save_json("a", HEADERS, ROWS, results_dir=str(results))
+    save_json("b", HEADERS, ROWS, results_dir=str(results))
+    written = refresh_baselines(str(results), str(expected))
+    assert set(written) == {"a", "b"}
+    assert os.path.exists(expected / "a.json")
+
+
+def test_committed_baselines_exist_for_core_experiments():
+    """The repository ships baselines pinning the headline reproductions."""
+    expected_dir = os.path.join(
+        os.path.dirname(__file__), os.pardir, os.pardir, "benchmarks", "expected"
+    )
+    for name in (
+        "fig07a_alltoall_latency",
+        "fig07b_alltoall_power",
+        "table1_cpmd_energy",
+        "table2_nas_energy",
+    ):
+        path = os.path.join(expected_dir, f"{name}.json")
+        assert os.path.exists(path), f"missing baseline {name}"
+        with open(path) as fh:
+            record = json.load(fh)
+        assert record["rows"]

@@ -1,0 +1,49 @@
+"""Tests for the report formatting utilities."""
+
+import os
+
+import pytest
+
+from repro.bench import bytes_label, format_table, render_experiment, save_report
+
+
+def test_format_table_alignment():
+    text = format_table(["A", "Bee"], [[1, 2.5], [333, 0.001]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equal width
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["A", "B"], [[1]])
+
+
+def test_format_value_styles():
+    text = format_table(["x"], [[1234.5], [12.345], [0.00123], [0]])
+    assert "1,234.5" in text
+    assert "12.35" in text
+    assert "0.00123" in text
+
+
+def test_render_experiment_includes_title_and_notes():
+    text = render_experiment("My exp", ["h"], [[1]], notes="a note")
+    assert text.startswith("== My exp ==")
+    assert "a note" in text
+    assert text.endswith("\n")
+
+
+def test_save_report_writes_file(tmp_path):
+    path = save_report("unit", "hello\n", results_dir=str(tmp_path))
+    assert os.path.exists(path)
+    with open(path) as fh:
+        assert fh.read() == "hello\n"
+
+
+def test_bytes_label():
+    assert bytes_label(1 << 10) == "1K"
+    assert bytes_label(16 << 10) == "16K"
+    assert bytes_label(1 << 20) == "1M"
+    assert bytes_label(4) == "4"
+    assert bytes_label(1500) == "1500"

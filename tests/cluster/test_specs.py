@@ -1,0 +1,77 @@
+"""Tests for hardware specification dataclasses."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    CpuSpec,
+    NodeSpec,
+    NUM_TSTATES,
+    T7_ACTIVITY,
+    ThrottleGranularity,
+    tstate_duty,
+)
+
+
+def test_default_spec_matches_paper_testbed():
+    spec = ClusterSpec.paper_testbed()
+    assert spec.nodes == 8
+    assert spec.node.sockets == 2
+    assert spec.node.cpu.cores_per_socket == 4
+    assert spec.node.cores_per_node == 8
+    assert spec.total_cores == 64
+    assert spec.node.cpu.fmin == pytest.approx(1.6)
+    assert spec.node.cpu.fmax == pytest.approx(2.4)
+
+
+def test_tstate_duty_endpoints():
+    assert tstate_duty(0) == pytest.approx(1.0)
+    assert tstate_duty(NUM_TSTATES - 1) == pytest.approx(T7_ACTIVITY)
+
+
+def test_tstate_duty_monotonically_decreasing():
+    duties = [tstate_duty(j) for j in range(NUM_TSTATES)]
+    assert all(a > b for a, b in zip(duties, duties[1:]))
+
+
+@pytest.mark.parametrize("level", [-1, NUM_TSTATES, 100])
+def test_tstate_duty_rejects_out_of_range(level):
+    with pytest.raises(ValueError):
+        tstate_duty(level)
+
+
+def test_nearest_pstate_snaps():
+    cpu = CpuSpec()
+    assert cpu.nearest_pstate(1.6) == pytest.approx(1.6)
+    assert cpu.nearest_pstate(2.4) == pytest.approx(2.4)
+    assert cpu.nearest_pstate(0.5) == pytest.approx(1.6)
+    assert cpu.nearest_pstate(9.9) == pytest.approx(2.4)
+    assert cpu.nearest_pstate(1.95) == pytest.approx(2.0)
+
+
+def test_cpu_spec_validation():
+    with pytest.raises(ValueError):
+        CpuSpec(cores_per_socket=0)
+    with pytest.raises(ValueError):
+        CpuSpec(pstates_ghz=())
+    with pytest.raises(ValueError):
+        CpuSpec(pstates_ghz=(2.4, 1.6))  # not ascending
+    with pytest.raises(ValueError):
+        CpuSpec(pstates_ghz=(-1.0, 2.4))
+
+
+def test_node_and_cluster_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(sockets=0)
+    with pytest.raises(ValueError):
+        ClusterSpec(nodes=0)
+
+
+def test_with_shape_constructor():
+    spec = ClusterSpec.with_shape(nodes=4, sockets=2, cores_per_socket=4)
+    assert spec.nodes == 4
+    assert spec.total_cores == 32
+    spec2 = ClusterSpec.with_shape(
+        nodes=2, granularity=ThrottleGranularity.CORE
+    )
+    assert spec2.node.cpu.throttle_granularity is ThrottleGranularity.CORE

@@ -1,0 +1,86 @@
+"""Tests for the ADAPTIVE power policy (extension beyond the paper)."""
+
+import pytest
+
+from repro.collectives import CollectiveConfig, CollectiveEngine, PowerMode
+from repro.mpi import MpiJob, run_collective_once
+
+
+def run_adaptive(op, nbytes, **cfg_kw):
+    engine = CollectiveEngine(
+        CollectiveConfig(power_mode=PowerMode.ADAPTIVE, **cfg_kw)
+    )
+    return run_collective_once(op, nbytes, 64, collectives=engine)
+
+
+def test_adaptive_skips_small_alltoall():
+    r = run_adaptive("alltoall", 16 << 10, adaptive_gain=1e6)
+    assert r.stats.dvfs_transitions == 0
+    assert r.stats.throttle_transitions == 0
+
+
+def test_adaptive_engages_large_alltoall():
+    r = run_adaptive("alltoall", 1 << 20)
+    assert r.stats.throttle_transitions > 0  # PROPOSED path taken
+
+
+def test_adaptive_matches_none_at_small_sizes():
+    r_none = run_collective_once("alltoall", 16 << 10, 64)
+    r_adaptive = run_adaptive("alltoall", 16 << 10, adaptive_gain=1e6)
+    assert r_adaptive.duration_s == pytest.approx(r_none.duration_s)
+
+
+def test_adaptive_matches_proposed_at_large_sizes():
+    from repro.collectives import CollectiveConfig as CC
+
+    r_prop = run_collective_once(
+        "alltoall", 1 << 20, 64,
+        collectives=CollectiveEngine(CC(power_mode=PowerMode.PROPOSED)),
+    )
+    r_adaptive = run_adaptive("alltoall", 1 << 20)
+    assert r_adaptive.duration_s == pytest.approx(r_prop.duration_s)
+    assert r_adaptive.energy_j == pytest.approx(r_prop.energy_j)
+
+
+def test_adaptive_bcast_threshold_behaviour():
+    small = run_adaptive("bcast", 16 << 10)
+    large = run_adaptive("bcast", 1 << 20)
+    assert small.stats.throttle_transitions == 0
+    assert large.stats.throttle_transitions > 0
+
+
+def test_adaptive_gain_knob():
+    eager = run_adaptive("bcast", 64 << 10, adaptive_gain=1.0)
+    conservative = run_adaptive("bcast", 64 << 10, adaptive_gain=1e6)
+    assert eager.stats.throttle_transitions > 0
+    assert conservative.stats.throttle_transitions == 0
+
+
+def test_adaptive_never_loses_energy_across_sizes():
+    """The point of the policy: at every size, adaptive energy is within a
+    hair of min(none, proposed)."""
+    for nbytes in (16 << 10, 256 << 10, 1 << 20):
+        e_none = run_collective_once("alltoall", nbytes, 64).energy_j
+        e_prop = run_collective_once(
+            "alltoall", nbytes, 64,
+            collectives=CollectiveEngine(
+                CollectiveConfig(power_mode=PowerMode.PROPOSED)
+            ),
+        ).energy_j
+        e_adap = run_adaptive("alltoall", nbytes).energy_j
+        assert e_adap <= min(e_none, e_prop) * 1.02
+
+
+def test_adaptive_in_app_context():
+    """Mixed-size programs: small collectives run clean, big ones powered."""
+    engine = CollectiveEngine(CollectiveConfig(power_mode=PowerMode.ADAPTIVE))
+    job = MpiJob(64, collectives=engine)
+
+    def program(ctx):
+        yield from ctx.allreduce(2048)     # below power_min_bytes
+        yield from ctx.alltoall(512 << 10) # engages
+        yield from ctx.bcast(16 << 10)     # predicted too short
+
+    r = job.run(program)
+    assert r.stats.throttle_transitions > 0
+    assert job.engine.quiescent()

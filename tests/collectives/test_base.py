@@ -1,0 +1,103 @@
+"""Property tests for scheduling helpers (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import is_power_of_two, pairwise_partner, tag_for
+from repro.collectives.power_alltoall import tournament_partner
+
+
+# ----------------------------------------------------------- pairwise_partner
+@given(
+    size=st.integers(min_value=2, max_value=128),
+    step=st.integers(min_value=1, max_value=127),
+)
+def test_pairwise_partner_is_symmetric(size, step):
+    """If a sends to b at step i, then b receives from a at step i."""
+    if step >= size:
+        step = step % size
+        if step == 0:
+            step = 1
+    for rank in range(size):
+        send_to, _ = pairwise_partner(rank, size, step)
+        _, recv_from = pairwise_partner(send_to, size, step)
+        assert recv_from == rank
+
+
+@given(size=st.sampled_from([2, 4, 8, 16, 32, 64]))
+def test_pairwise_covers_all_peers_exactly_once(size):
+    for rank in range(size):
+        sends = set()
+        for step in range(1, size):
+            send_to, _ = pairwise_partner(rank, size, step)
+            sends.add(send_to)
+        assert sends == set(range(size)) - {rank}
+
+
+@given(size=st.integers(min_value=3, max_value=65).filter(lambda n: n & (n - 1)))
+def test_pairwise_non_pof2_covers_all_peers(size):
+    for rank in (0, size // 2, size - 1):
+        sends = {pairwise_partner(rank, size, s)[0] for s in range(1, size)}
+        recvs = {pairwise_partner(rank, size, s)[1] for s in range(1, size)}
+        assert sends == set(range(size)) - {rank}
+        assert recvs == set(range(size)) - {rank}
+
+
+def test_is_power_of_two():
+    assert all(is_power_of_two(1 << k) for k in range(10))
+    assert not any(is_power_of_two(n) for n in (0, 3, 5, 6, 7, 12, -4))
+
+
+# ----------------------------------------------------------------- tag_for
+def test_tag_for_disjoint_across_seq():
+    assert tag_for(0, 100) != tag_for(1, 100)
+    assert tag_for(1, 0) > tag_for(0, 65535)
+
+
+def test_tag_for_rejects_out_of_range_step():
+    with pytest.raises(ValueError):
+        tag_for(0, -1)
+    with pytest.raises(ValueError):
+        tag_for(0, 1 << 16)
+
+
+# -------------------------------------------------------- tournament_partner
+@given(
+    n_nodes=st.integers(min_value=2, max_value=33),
+    rnd=st.integers(min_value=0, max_value=32),
+)
+@settings(max_examples=200)
+def test_tournament_round_is_perfect_matching(n_nodes, rnd):
+    rounds = n_nodes - 1 if n_nodes % 2 == 0 else n_nodes
+    rnd = rnd % rounds
+    partners = {}
+    for node in range(n_nodes):
+        partners[node] = tournament_partner(node, rnd, n_nodes)
+    for node, p in partners.items():
+        if p is None:
+            continue
+        assert p != node
+        assert partners[p] == node  # symmetric pairing
+    byes = sum(1 for p in partners.values() if p is None)
+    assert byes == (0 if n_nodes % 2 == 0 else 1)
+
+
+@given(n_nodes=st.integers(min_value=2, max_value=24))
+def test_tournament_covers_every_pair_once(n_nodes):
+    rounds = n_nodes - 1 if n_nodes % 2 == 0 else n_nodes
+    seen = set()
+    for rnd in range(rounds):
+        for node in range(n_nodes):
+            p = tournament_partner(node, rnd, n_nodes)
+            if p is not None and node < p:
+                pair = (node, p)
+                assert pair not in seen
+                seen.add(pair)
+    assert len(seen) == n_nodes * (n_nodes - 1) // 2
+
+
+def test_tournament_validation():
+    with pytest.raises(ValueError):
+        tournament_partner(0, 99, 8)
+    assert tournament_partner(0, 0, 1) is None

@@ -1,0 +1,41 @@
+"""Cross-product sanity matrix: every collective x every power mode must
+complete, leave the engine quiescent, and restore all core state."""
+
+import pytest
+
+from repro.collectives import CollectiveConfig, CollectiveEngine, PowerMode
+from repro.mpi import MpiJob
+
+OPS = [
+    ("alltoall", (64 << 10,)),
+    ("alltoallv", ([64 << 10] * 16,)),
+    ("bcast", (64 << 10,)),
+    ("reduce", (64 << 10,)),
+    ("allreduce", (64 << 10,)),
+    ("allgather", (64 << 10,)),
+    ("scatter", (64 << 10,)),
+    ("gather", (64 << 10,)),
+    ("reduce_scatter", (64 << 10,)),
+    ("scan", (64 << 10,)),
+    ("barrier", ()),
+]
+
+
+@pytest.mark.parametrize("op,args", OPS, ids=[o for o, _ in OPS])
+@pytest.mark.parametrize("mode", list(PowerMode), ids=[m.value for m in PowerMode])
+def test_collective_mode_matrix(op, args, mode):
+    job = MpiJob(16, collectives=CollectiveEngine(CollectiveConfig(power_mode=mode)))
+
+    def program(ctx):
+        a = args
+        if op == "alltoallv":
+            a = ([64 << 10] * ctx.size,)
+        yield from getattr(ctx, op)(*a)
+
+    result = job.run(program)
+    assert job.engine.quiescent()
+    assert result.duration_s > 0
+    for rank in range(16):
+        core = job.affinity.core_of(rank)
+        assert core.tstate == 0, f"{op}/{mode.value} left T{core.tstate}"
+        assert core.frequency_ghz == pytest.approx(2.4), f"{op}/{mode.value}"

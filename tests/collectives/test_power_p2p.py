@@ -1,0 +1,96 @@
+"""Tests for power-aware intra-node point-to-point (§VIII extension)."""
+
+import pytest
+
+from repro.collectives import (
+    DEFAULT_P2P_POWER_THRESHOLD,
+    power_aware_exchange,
+    power_aware_recv,
+    power_aware_send,
+)
+from repro.mpi import MpiJob
+
+
+def run_pair(nbytes, use_power, partner=1):
+    """Ranks 0 and `partner` exchange nbytes; returns JobResult."""
+    job = MpiJob(16)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            if use_power:
+                yield from power_aware_exchange(ctx, partner, nbytes)
+            else:
+                yield from ctx.sendrecv(dst=partner, nbytes=nbytes)
+        elif ctx.rank == partner:
+            if use_power:
+                yield from power_aware_exchange(ctx, 0, nbytes)
+            else:
+                yield from ctx.sendrecv(dst=0, nbytes=nbytes)
+
+    return job.run(program)
+
+
+def test_large_intra_node_exchange_saves_energy():
+    base = run_pair(4 << 20, use_power=False)
+    power = run_pair(4 << 20, use_power=True)
+    # The two active cores burn less energy...
+    cores = [0, 2]  # ranks 0,1 sit on OS cores 0 and 2 (socket A)
+    core_ids = [base.job.affinity.core_of(r).core_id for r in (0, 1)]
+    base_e = sum(base.accountant.core_energy_j(c) for c in core_ids)
+    power_e = sum(power.accountant.core_energy_j(c) for c in core_ids)
+    assert power_e < base_e
+    # ...at a modest slowdown (memcpy is partially memory-bound).
+    assert power.duration_s / base.duration_s < 1.20
+
+
+def test_small_messages_bypass_dvfs():
+    r = run_pair(1024, use_power=True)
+    assert r.stats.dvfs_transitions == 0
+
+
+def test_inter_node_bypasses_dvfs():
+    r = run_pair(4 << 20, use_power=True, partner=8)
+    assert r.stats.dvfs_transitions == 0
+
+
+def test_large_intra_engages_dvfs_and_restores():
+    r = run_pair(4 << 20, use_power=True)
+    assert r.stats.dvfs_transitions == 4  # down+up on both endpoints
+    for rank in (0, 1):
+        assert r.job.affinity.core_of(rank).frequency_ghz == pytest.approx(2.4)
+
+
+def test_one_sided_send_recv_pair():
+    job = MpiJob(16)
+    got = {}
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from power_aware_send(ctx, dst=1, nbytes=1 << 20)
+        elif ctx.rank == 1:
+            got["msg"] = yield from power_aware_recv(ctx, src=0, nbytes_hint=1 << 20)
+
+    r = job.run(program)
+    assert got["msg"][2] == 1 << 20
+    assert r.stats.dvfs_transitions == 4
+
+
+def test_threshold_boundary():
+    r_below = run_pair(DEFAULT_P2P_POWER_THRESHOLD - 1, use_power=True)
+    r_at = run_pair(DEFAULT_P2P_POWER_THRESHOLD, use_power=True)
+    assert r_below.stats.dvfs_transitions == 0
+    assert r_at.stats.dvfs_transitions == 4
+
+
+def test_shm_copy_factor_model():
+    """Copy bandwidth degrades sub-linearly with frequency, linearly with
+    duty cycle."""
+    from repro.network import NetworkSpec
+
+    spec = NetworkSpec()
+    full = spec.shm_copy_factor(1.0, 1.0)
+    at_fmin = spec.shm_copy_factor(1.6 / 2.4, 1.0)
+    throttled = spec.shm_copy_factor(1.0, 0.12)
+    assert full == pytest.approx(1.0)
+    assert at_fmin > 1.6 / 2.4  # softer than linear in f
+    assert throttled == pytest.approx(0.12)

@@ -1,0 +1,76 @@
+"""Tests for model-constant fitting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.microbench import osu_latency, sweep
+from repro.models import (
+    ModelParams,
+    fit_cnet,
+    fit_cnet_from_simulation,
+    fit_hockney,
+)
+
+
+def test_fit_hockney_recovers_exact_line():
+    sizes = [1024, 4096, 65536, 1 << 20]
+    times = [2e-6 + m / 3e9 for m in sizes]
+    fit = fit_hockney(sizes, times)
+    assert fit.ts == pytest.approx(2e-6, rel=1e-6)
+    assert fit.tw == pytest.approx(1 / 3e9, rel=1e-6)
+    assert fit.bandwidth == pytest.approx(3e9, rel=1e-6)
+    assert fit.predict(2048) == pytest.approx(2e-6 + 2048 / 3e9)
+
+
+def test_fit_hockney_validation():
+    with pytest.raises(ValueError):
+        fit_hockney([1], [1.0])
+    with pytest.raises(ValueError):
+        fit_hockney([1, 2], [1.0])
+
+
+@given(
+    ts=st.floats(min_value=1e-7, max_value=1e-4),
+    bw=st.floats(min_value=1e8, max_value=1e10),
+)
+@settings(max_examples=50)
+def test_fit_hockney_roundtrip_property(ts, bw):
+    sizes = [1 << k for k in range(8, 22, 2)]
+    times = [ts + m / bw for m in sizes]
+    fit = fit_hockney(sizes, times)
+    assert fit.ts == pytest.approx(ts, rel=1e-4)
+    assert fit.bandwidth == pytest.approx(bw, rel=1e-4)
+
+
+def test_fit_hockney_on_simulated_latency():
+    """Fit the simulator's own p2p path; the recovered tw must match the
+    model's wire bandwidth within the rendezvous overhead."""
+    rows = sweep(osu_latency, sizes=(64 << 10, 256 << 10, 1 << 20), iterations=3)
+    fit = fit_hockney([r[0] for r in rows], [r[1] for r in rows])
+    assert 2.0e9 < fit.bandwidth < 3.5e9
+    assert fit.ts >= 0
+
+
+def test_fit_cnet_exact():
+    params = ModelParams()
+    sizes = [65536, 1 << 20]
+    cnet_true = 6.5
+    p, c = 64, 8
+    times = [params.tw_inter * (p - c) * cnet_true * m for m in sizes]
+    assert fit_cnet(8, 8, sizes, times, params) == pytest.approx(cnet_true)
+
+
+def test_fit_cnet_validation():
+    with pytest.raises(ValueError):
+        fit_cnet(8, 8, [], [])
+    with pytest.raises(ValueError):
+        fit_cnet(8, 8, [1024], [-1.0])
+
+
+def test_fit_cnet_from_simulation_near_ranks_per_hca():
+    """The emergent contention factor ≈ ranks/HCA x congestion factor —
+    the physical meaning the paper assigns to Cnet."""
+    cnet = fit_cnet_from_simulation(64, sizes=(256 << 10, 1 << 20))
+    # 8 ranks per HCA, x(1+0.05·7)=1.35 congestion, x9/8 pairwise step mix.
+    assert 8.0 < cnet < 14.0

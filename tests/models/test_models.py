@@ -1,0 +1,182 @@
+"""Tests for the analytical models (equations 1–8) and their agreement
+with the simulator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives import CollectiveConfig, CollectiveEngine, PowerMode
+from repro.models import (
+    ModelParams,
+    dvfs_slowdown,
+    energy_alltoall_power_aware,
+    energy_bcast_power_aware,
+    energy_default,
+    energy_dvfs,
+    savings_ordering_holds,
+    t_alltoall_pairwise,
+    t_alltoall_power_aware,
+    t_bcast_power_aware,
+    t_bcast_scatter_allgather,
+)
+from repro.mpi import run_collective_once
+
+
+# ------------------------------------------------------------ ModelParams
+def test_params_from_specs_defaults():
+    p = ModelParams.from_specs()
+    assert p.tw_inter == pytest.approx(1 / 3.0e9)
+    assert p.tw_intra == pytest.approx(1 / 4.5e9)
+    assert p.o_dvfs == pytest.approx(12e-6)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        ModelParams(cnet=0.5)
+    with pytest.raises(ValueError):
+        ModelParams(cthrottle=0.9)
+    with pytest.raises(ValueError):
+        ModelParams.contended(0)
+
+
+# ------------------------------------------------ eq (1): pairwise alltoall
+def test_eq1_linear_in_message_size():
+    t1 = t_alltoall_pairwise(8, 8, 1 << 16)
+    t2 = t_alltoall_pairwise(8, 8, 1 << 17)
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_eq1_linear_in_system_size():
+    """§VII-F: pairwise cost ∝ P − c, nearly doubling from 32 to 64 procs."""
+    t32 = t_alltoall_pairwise(4, 8, 1 << 20)
+    t64 = t_alltoall_pairwise(8, 8, 1 << 20)
+    assert t64 / t32 == pytest.approx((64 - 8) / (32 - 8))
+
+
+def test_eq1_contention_multiplies():
+    base = t_alltoall_pairwise(8, 8, 1 << 20)
+    contended = t_alltoall_pairwise(8, 8, 1 << 20, ModelParams.contended(8))
+    assert contended == pytest.approx(8 * base)
+
+
+def test_eq1_validation():
+    with pytest.raises(ValueError):
+        t_alltoall_pairwise(0, 8, 100)
+    with pytest.raises(ValueError):
+        t_alltoall_pairwise(8, 8, -1)
+
+
+# ------------------------------------------- eq (2): scatter-allgather bcast
+def test_eq2_closed_form():
+    p = ModelParams()
+    m, n = 1 << 20, 8
+    expected = m * (n - 1) * p.tw_inter * (1 + 1 / n)
+    assert t_bcast_scatter_allgather(n, m, p) == pytest.approx(expected)
+
+
+def test_eq2_single_node_is_free():
+    assert t_bcast_scatter_allgather(1, 1 << 20) == 0.0
+
+
+# ------------------------------------------------- eq (3): power alltoall
+def test_eq3_overhead_linear_in_nodes():
+    """§VI-A2: 'the performance overhead ... is linearly proportional to
+    the number of nodes'."""
+    p = ModelParams()
+    t8 = t_alltoall_power_aware(8, 8, 0, p)
+    t16 = t_alltoall_power_aware(16, 8, 0, p)
+    assert t8 == pytest.approx(2 * p.o_dvfs + 8 * p.o_throttle)
+    assert t16 - t8 == pytest.approx(8 * p.o_throttle)
+
+
+def test_eq3_transfer_three_quarters_of_default():
+    p = ModelParams.contended(8)
+    m = 1 << 20
+    t_def = t_alltoall_pairwise(8, 8, m, p)
+    t_pow = t_alltoall_power_aware(8, 8, m, p)
+    transfer_only = t_pow - 2 * p.o_dvfs - 8 * p.o_throttle
+    # (3/4)·N·c vs (P−c): ratio = 0.75·64/56
+    assert transfer_only / t_def == pytest.approx(0.75 * 64 / 56)
+
+
+# --------------------------------------------------- eq (4): power bcast
+def test_eq4_reduces_to_eq2_with_unit_cthrottle():
+    p = ModelParams(cthrottle=1.0)
+    m = 1 << 20
+    expected = t_bcast_scatter_allgather(8, m, p) + 2 * p.o_dvfs + 2 * p.o_throttle
+    assert t_bcast_power_aware(8, m, p) == pytest.approx(expected)
+
+
+# -------------------------------------------------------- eqs (5)–(8)
+def test_energy_ordering():
+    assert savings_ordering_holds()
+
+
+def test_eq5_matches_calibrated_system_power():
+    # 1 second at full tilt ⇒ 2300 J for the paper testbed.
+    assert energy_default(8, 8, 1.0) == pytest.approx(2300.0, rel=0.01)
+
+
+def test_eq6_matches_dvfs_power():
+    assert energy_dvfs(8, 8, 1.0) == pytest.approx(1800.0, rel=0.01)
+
+
+def test_eq7_matches_proposed_alltoall_power():
+    assert energy_alltoall_power_aware(8, 8, 1.0) == pytest.approx(1600.0, rel=0.02)
+
+
+def test_eq8_below_eq7():
+    e7 = energy_alltoall_power_aware(8, 8, 1.0)
+    e8 = energy_bcast_power_aware(8, 8, 1.0)
+    assert e8 < e7
+
+
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    c=st.integers(min_value=1, max_value=32),
+    dur=st.floats(min_value=1e-6, max_value=100.0),
+)
+def test_energy_models_positive_and_ordered(n, c, dur):
+    e5 = energy_default(n, c, dur)
+    e6 = energy_dvfs(n, c, dur)
+    e7 = energy_alltoall_power_aware(n, c, dur)
+    assert e5 > e6 > e7 > 0
+
+
+# ------------------------------------------------------- dvfs_slowdown
+def test_dvfs_slowdown_bounds():
+    assert dvfs_slowdown(2.4, 2.4, 0.72) == pytest.approx(1.0)
+    assert dvfs_slowdown(1.6, 2.4, 0.72) > 1.0
+    with pytest.raises(ValueError):
+        dvfs_slowdown(0.0, 2.4, 0.72)
+
+
+# ------------------------------------------- model vs simulator agreement
+def test_eq1_tracks_simulator_scaling():
+    """Model and simulator agree on the 32→64 rank scaling factor."""
+    m = 1 << 18
+    sim32 = run_collective_once("alltoall", m, 32).duration_s
+    sim64 = run_collective_once("alltoall", m, 64).duration_s
+    model_ratio = t_alltoall_pairwise(8, 8, m) / t_alltoall_pairwise(4, 8, m)
+    assert sim64 / sim32 == pytest.approx(model_ratio, rel=0.15)
+
+
+def test_eq2_tracks_simulator_bcast_network_phase():
+    """Equation (2) as printed counts M(N−1)·tw for the allgather, i.e. it
+    omits the 1/N block factor of a ring allgather whose steps overlap
+    across leaders.  The simulator executes the real schedule, so the
+    closed form over-predicts by ≈N/2; we assert exactly that relation."""
+    m = 1 << 20
+    n = 8
+    r = run_collective_once("bcast", m, 64)
+    net = r.job.stats.phase_times["bcast.network"]
+    model = t_bcast_scatter_allgather(n, m)
+    assert model / net == pytest.approx(n / 2, rel=0.25)
+
+
+def test_eq7_tracks_simulator_proposed_alltoall_energy():
+    m = 1 << 20
+    eng = CollectiveEngine(CollectiveConfig(power_mode=PowerMode.PROPOSED))
+    r = run_collective_once("alltoall", m, 64, collectives=eng)
+    model_e = energy_alltoall_power_aware(8, 8, r.duration_s)
+    assert r.energy_j == pytest.approx(model_e, rel=0.10)

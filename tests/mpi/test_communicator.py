@@ -1,0 +1,67 @@
+"""Tests for communicators and the multi-core-aware layout."""
+
+import pytest
+
+from repro.cluster import AffinityMap, Cluster, ClusterSpec
+from repro.mpi.communicator import CommLayout, Communicator, CommunicatorFactory
+
+
+def test_communicator_rank_translation():
+    comm = Communicator(0, [4, 8, 15], name="test")
+    assert comm.size == 3
+    assert comm.rank_of(8) == 1
+    assert comm.world_rank(2) == 15
+    assert comm.contains(4)
+    assert not comm.contains(5)
+
+
+def test_communicator_validation():
+    with pytest.raises(ValueError):
+        Communicator(0, [1, 1, 2])
+    with pytest.raises(ValueError):
+        Communicator(0, [])
+    comm = Communicator(0, [0, 1])
+    with pytest.raises(ValueError):
+        comm.rank_of(9)
+    with pytest.raises(ValueError):
+        comm.world_rank(2)
+    with pytest.raises(ValueError):
+        comm.world_rank(-1)
+
+
+def test_factory_assigns_unique_ids():
+    factory = CommunicatorFactory()
+    a = factory.create([0, 1])
+    b = factory.create([0, 1])
+    assert a.comm_id != b.comm_id
+
+
+def test_layout_matches_paper_fig1():
+    cluster = Cluster(ClusterSpec.paper_testbed())
+    affinity = AffinityMap(cluster, 64)
+    layout = CommLayout.build(CommunicatorFactory(), affinity)
+    assert layout.world.size == 64
+    assert len(layout.shared) == 8
+    for node_id, comm in layout.shared.items():
+        assert comm.size == 8
+        assert comm.group == tuple(range(node_id * 8, node_id * 8 + 8))
+    assert layout.leaders.size == 8
+    assert layout.leaders.group == (0, 8, 16, 24, 32, 40, 48, 56)
+
+
+def test_layout_partial_cluster():
+    cluster = Cluster(ClusterSpec.paper_testbed())
+    affinity = AffinityMap(cluster, 32)
+    layout = CommLayout.build(CommunicatorFactory(), affinity)
+    assert layout.world.size == 32
+    assert len(layout.shared) == 4
+    assert layout.leaders.group == (0, 8, 16, 24)
+
+
+def test_comm_ids_disjoint_across_layout():
+    cluster = Cluster(ClusterSpec.paper_testbed())
+    affinity = AffinityMap(cluster, 64)
+    layout = CommLayout.build(CommunicatorFactory(), affinity)
+    ids = [layout.world.comm_id, layout.leaders.comm_id]
+    ids += [c.comm_id for c in layout.shared.values()]
+    assert len(set(ids)) == len(ids)

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the fabric's fairness and
+conservation invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import NetworkSpec
+from repro.network.fabric import Fabric, Flow, Link, maxmin_rates
+from repro.sim import Environment
+
+
+class _Ev:
+    pass
+
+
+@st.composite
+def allocation_problems(draw):
+    """Random links + flows with random paths and caps."""
+    n_links = draw(st.integers(min_value=1, max_value=5))
+    links = [
+        Link(f"l{i}", draw(st.floats(min_value=0.1, max_value=100.0)))
+        for i in range(n_links)
+    ]
+    n_flows = draw(st.integers(min_value=1, max_value=12))
+    flows = []
+    for _ in range(n_flows):
+        path_ids = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_links - 1),
+                min_size=1,
+                max_size=n_links,
+                unique=True,
+            )
+        )
+        cap = draw(
+            st.one_of(
+                st.just(math.inf), st.floats(min_value=0.01, max_value=50.0)
+            )
+        )
+        flows.append(Flow(tuple(links[i] for i in path_ids), 1.0, cap, _Ev()))
+    capacities = {l: l.capacity for l in links}
+    return flows, capacities
+
+
+@given(allocation_problems())
+@settings(max_examples=200)
+def test_maxmin_respects_capacities_and_caps(problem):
+    flows, capacities = problem
+    rates = maxmin_rates(flows, capacities)
+    # Every flow got a rate; rates are positive and within its cap.
+    for flow in flows:
+        assert flow in rates
+        assert rates[flow] > 0
+        assert rates[flow] <= flow.cap * (1 + 1e-9)
+    # No link is oversubscribed.
+    for link, cap in capacities.items():
+        used = sum(rates[f] for f in flows if link in f.links)
+        assert used <= cap * (1 + 1e-9)
+
+
+@given(allocation_problems())
+@settings(max_examples=200)
+def test_maxmin_is_pareto_maximal(problem):
+    """No flow could be given more bandwidth without violating a
+    constraint: every flow is either at its cap or crosses a saturated
+    link."""
+    flows, capacities = problem
+    rates = maxmin_rates(flows, capacities)
+    for flow in flows:
+        if flow.cap is not math.inf and rates[flow] >= flow.cap * (1 - 1e-9):
+            continue
+        saturated = False
+        for link in flow.links:
+            used = sum(rates[f] for f in flows if link in f.links)
+            if used >= capacities[link] * (1 - 1e-9):
+                saturated = True
+                break
+        assert saturated, f"flow {flow} is not bottlenecked anywhere"
+
+
+@given(allocation_problems())
+@settings(max_examples=100)
+def test_maxmin_fairness_on_shared_bottleneck(problem):
+    """Two uncapped flows with identical paths get identical rates."""
+    flows, capacities = problem
+    rates = maxmin_rates(flows, capacities)
+    by_path = {}
+    for flow in flows:
+        if math.isinf(flow.cap):
+            by_path.setdefault(flow.links, []).append(rates[flow])
+    for path_rates in by_path.values():
+        assert max(path_rates) == pytest.approx(min(path_rates))
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=10_000_000), min_size=1, max_size=20
+    ),
+    stagger_us=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_fabric_conserves_bytes(sizes, stagger_us):
+    env = Environment()
+    fabric = Fabric(env, NetworkSpec())
+    link = fabric.add_link("l", 1e9)
+
+    def proc(env, i, nbytes):
+        yield env.timeout(i * stagger_us * 1e-6)
+        yield fabric.transfer([link], nbytes)
+
+    for i, nbytes in enumerate(sizes):
+        env.process(proc(env, i, nbytes))
+    env.run()
+    assert fabric.bytes_delivered == pytest.approx(sum(sizes), rel=1e-9)
+    assert not fabric.active_flows
+
+
+@given(
+    seeds=st.lists(st.integers(min_value=0, max_value=10_000), min_size=4, max_size=4)
+)
+@settings(max_examples=20, deadline=None)
+def test_fabric_schedule_deterministic(seeds):
+    """Identical transfer schedules produce identical completion times."""
+
+    def run_once():
+        env = Environment()
+        fabric = Fabric(env, NetworkSpec())
+        links = [fabric.add_link(f"l{i}", 1e9) for i in range(2)]
+        times = []
+
+        def proc(env, seed):
+            yield env.timeout((seed % 97) * 1e-6)
+            t = yield fabric.transfer(
+                [links[seed % 2]], 1000 + (seed * 131) % 100_000
+            )
+            times.append(t)
+
+        for seed in seeds:
+            env.process(proc(env, seed))
+        env.run()
+        return times
+
+    assert run_once() == run_once()

@@ -1,0 +1,168 @@
+"""Tests for the cluster-shaped InfiniBand network."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.network import IBNetwork, NetworkSpec
+from repro.sim import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    cluster = Cluster(ClusterSpec.paper_testbed())
+    # Ideal fabric (no congestion penalty) for exact timing assertions.
+    net = IBNetwork(env, cluster, NetworkSpec(flow_congestion=0.0))
+    return env, cluster, net
+
+
+def test_links_built_per_node(setup):
+    env, cluster, net = setup
+    for n in range(8):
+        assert net.nic_up(n).name == f"nic_up:{n}"
+        assert net.nic_dn(n).name == f"nic_dn:{n}"
+        assert net.mem(n).name == f"mem:{n}"
+
+
+def test_inter_node_path_uses_both_nics(setup):
+    env, cluster, net = setup
+    path = net.inter_node_path(0, 3)
+    assert [l.name for l in path] == ["nic_up:0", "nic_dn:3"]
+
+
+def test_switch_link_when_oversubscribed():
+    env = Environment()
+    cluster = Cluster(ClusterSpec.paper_testbed())
+    net = IBNetwork(env, cluster, NetworkSpec(switch_oversubscription=4.0))
+    path = net.inter_node_path(0, 1)
+    assert [l.name for l in path] == ["nic_up:0", "switch", "nic_dn:1"]
+    assert net.fabric.link("switch").capacity == pytest.approx(4.0 * 3.0e9)
+
+
+def test_single_inter_node_transfer_rate(setup):
+    env, cluster, net = setup
+    out = []
+
+    def proc(env):
+        t = yield net.transfer_inter(0, 1, 3e6)
+        out.append(t)
+
+    env.process(proc(env))
+    env.run()
+    assert out == [pytest.approx(1e-3)]  # 3 MB at 3 GB/s
+
+
+def test_nic_contention_between_senders(setup):
+    """Two ranks on node 0 sending to different nodes share the uplink."""
+    env, cluster, net = setup
+    out = []
+
+    def proc(env, dst):
+        t = yield net.transfer_inter(0, dst, 3e6)
+        out.append(t)
+
+    env.process(proc(env, 1))
+    env.process(proc(env, 2))
+    env.run()
+    for t in out:
+        assert t == pytest.approx(2e-3)
+
+
+def test_dvfs_slows_nic(setup):
+    """A node at fmin feeds its HCA at ~85 % of line rate (uncore model)."""
+    env, cluster, net = setup
+    cluster.set_all(0.0, frequency_ghz=1.6)
+    alpha = net.spec.dvfs_io_alpha
+    expected_factor = net.spec.nic_dvfs_factor(1.6 / 2.4)
+    assert expected_factor == pytest.approx(alpha + (1 - alpha) * (1.6 / 2.4))
+    out = []
+
+    def proc(env):
+        t = yield net.transfer_inter(0, 1, 3e6)
+        out.append(t)
+
+    env.process(proc(env))
+    env.run()
+    assert out == [pytest.approx(1e-3 / expected_factor)]
+
+
+def test_dvfs_changed_mid_transfer(setup):
+    env, cluster, net = setup
+    out = []
+
+    def proc(env):
+        t = yield net.transfer_inter(0, 1, 6e6)
+        out.append(t)
+
+    def scaler(env):
+        yield env.timeout(1e-3)  # 3 MB moved at full rate
+        cluster.set_all(env.now, frequency_ghz=1.6)
+        net.dvfs_changed()
+
+    env.process(proc(env))
+    env.process(scaler(env))
+    env.run()
+    factor = net.spec.nic_dvfs_factor(1.6 / 2.4)
+    assert out == [pytest.approx(1e-3 + 1e-3 / factor)]
+
+
+def test_loopback_used_for_same_node(setup):
+    env, cluster, net = setup
+    out = []
+
+    def proc(env):
+        t = yield net.transfer_inter(0, 0, 3e6)
+        out.append(t)
+
+    env.process(proc(env))
+    env.run()
+    # Loopback crosses nic_up:0 and nic_dn:0, full rate.
+    assert out == [pytest.approx(1e-3)]
+
+
+def test_shm_transfer_capped_by_pair_bandwidth(setup):
+    env, cluster, net = setup
+    out = []
+
+    def proc(env):
+        t = yield net.transfer_shm(0, 2.5e6, pair_cap=2.5e9)
+        out.append(t)
+
+    env.process(proc(env))
+    env.run()
+    assert out == [pytest.approx(1e-3)]
+
+
+def test_shm_copies_share_node_memory_bandwidth(setup):
+    """Many concurrent pair copies saturate the node memory link rather
+    than each getting its full pair bandwidth."""
+    env, cluster, net = setup
+    mem_bw = net.spec.mem_bw_node
+    pair_cap = mem_bw / 4  # with 8 copies, fair share < pair_cap
+    out = []
+
+    def proc(env):
+        t = yield net.transfer_shm(0, 2.5e6, pair_cap=pair_cap)
+        out.append(t)
+
+    for _ in range(8):
+        env.process(proc(env))
+    env.run()
+    expected = 2.5e6 / (mem_bw / 8)
+    for t in out:
+        assert t == pytest.approx(expected)
+
+
+def test_mem_link_isolated_between_nodes(setup):
+    env, cluster, net = setup
+    out = []
+
+    def proc(env, node):
+        t = yield net.transfer_shm(node, 2.5e6, pair_cap=2.5e9)
+        out.append(t)
+
+    env.process(proc(env, 0))
+    env.process(proc(env, 1))
+    env.run()
+    for t in out:
+        assert t == pytest.approx(1e-3)

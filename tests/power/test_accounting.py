@@ -1,0 +1,128 @@
+"""Tests for energy accounting and the sampled power meter."""
+
+import pytest
+
+from repro.cluster import Activity, Cluster, ClusterSpec
+from repro.power import EnergyAccountant, PowerMeter, PowerModel
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.paper_testbed())
+
+
+def test_constant_state_energy(cluster):
+    acct = EnergyAccountant(cluster)
+    model = acct.model
+    acct.finalize(10.0)
+    expected_core = sum(model.core_power(c) for c in cluster.cores) * 10.0
+    assert acct.cores_energy_j() == pytest.approx(expected_core)
+    assert acct.node_base_energy_j() == pytest.approx(120.0 * 8 * 10.0)
+    assert acct.total_energy_j() == pytest.approx(expected_core + 9600.0)
+
+
+def test_state_change_splits_segments(cluster):
+    acct = EnergyAccountant(cluster)
+    core = cluster.cores[0]
+    p_idle_fmax = acct.model.core_power(core)
+    core.set_activity(Activity.COMPUTE, 4.0)
+    p_compute = acct.model.core_power(core)
+    acct.finalize(10.0)
+    expected = p_idle_fmax * 4.0 + p_compute * 6.0
+    assert acct.core_energy_j(core.core_id) == pytest.approx(expected)
+
+
+def test_energy_polling_fmax_vs_fmin(cluster):
+    """The whole point of DVFS: lower frequency, lower energy per second."""
+    acct = EnergyAccountant(cluster)
+    cluster.set_all(0.0, activity=Activity.POLLING)
+    cluster.set_all(5.0, frequency_ghz=1.6)
+    acct.finalize(10.0)
+    segs_by_time = {}
+    # First 5 s at fmax must cost more than the last 5 s at fmin.
+    first = sum(s.energy_j for s in acct.segments if s.end <= 5.0)
+    second = sum(s.energy_j for s in acct.segments if s.start >= 5.0)
+    assert first > second > 0
+
+
+def test_average_power_default_run(cluster):
+    acct = EnergyAccountant(cluster)
+    cluster.set_all(0.0, activity=Activity.POLLING)
+    acct.finalize(2.0)
+    assert acct.average_power_w() == pytest.approx(2300.0, rel=0.01)
+
+
+def test_total_before_finalize_requires_now(cluster):
+    acct = EnergyAccountant(cluster)
+    with pytest.raises(ValueError):
+        acct.total_energy_j()
+    assert acct.total_energy_j(now=1.0) >= 0.0
+
+
+def test_kj_helper(cluster):
+    acct = EnergyAccountant(cluster)
+    acct.finalize(1.0)
+    assert acct.total_energy_kj() == pytest.approx(acct.total_energy_j() / 1e3)
+
+
+def test_segments_disabled(cluster):
+    acct = EnergyAccountant(cluster, keep_segments=False)
+    cluster.set_all(1.0, activity=Activity.POLLING)
+    acct.finalize(2.0)
+    assert acct.segments == []
+    assert acct.total_energy_j() > 0
+
+
+def test_meter_constant_power(cluster):
+    acct = EnergyAccountant(cluster)
+    cluster.set_all(0.0, activity=Activity.POLLING)
+    acct.finalize(4.0)
+    trace = PowerMeter(interval_s=0.5).sample(acct)
+    assert len(trace) == 8
+    for p in trace.power_w:
+        assert p == pytest.approx(2300.0, rel=0.01)
+    assert trace.mean_power_w() == pytest.approx(2300.0, rel=0.01)
+    assert trace.times_s[-1] == pytest.approx(4.0)
+
+
+def test_meter_captures_step_change(cluster):
+    acct = EnergyAccountant(cluster)
+    cluster.set_all(0.0, activity=Activity.POLLING)
+    cluster.set_all(2.0, frequency_ghz=1.6)
+    acct.finalize(4.0)
+    trace = PowerMeter(interval_s=0.5).sample(acct)
+    assert trace.power_w[0] == pytest.approx(2300.0, rel=0.01)
+    assert trace.power_w[-1] == pytest.approx(1800.0, rel=0.01)
+
+
+def test_meter_partial_last_bucket(cluster):
+    acct = EnergyAccountant(cluster)
+    cluster.set_all(0.0, activity=Activity.POLLING)
+    acct.finalize(0.75)
+    trace = PowerMeter(interval_s=0.5).sample(acct)
+    assert len(trace) == 2
+    # Partial bucket still reports the average *power*, not scaled energy.
+    assert trace.power_w[1] == pytest.approx(trace.power_w[0], rel=0.01)
+
+
+def test_meter_requires_finalize_or_end(cluster):
+    acct = EnergyAccountant(cluster)
+    with pytest.raises(ValueError):
+        PowerMeter().sample(acct)
+    trace = PowerMeter().sample(acct, end=1.0)
+    # No closed segments yet: only node base power shows.
+    assert trace.power_w[0] == pytest.approx(120.0 * 8)
+
+
+def test_meter_validation():
+    with pytest.raises(ValueError):
+        PowerMeter(interval_s=0.0)
+
+
+def test_meter_empty_window(cluster):
+    acct = EnergyAccountant(cluster)
+    acct.finalize(0.0)
+    trace = PowerMeter().sample(acct)
+    assert len(trace) == 0
+    assert trace.mean_power_w() == 0.0
+    assert trace.peak_power_w() == 0.0

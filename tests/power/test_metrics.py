@@ -1,0 +1,65 @@
+"""Tests for energy-delay metrics and scheme comparison."""
+
+import pytest
+
+from repro.apps import CollectiveCall, ComputeEvent, app_from_trace, run_app
+from repro.collectives import PowerMode
+from repro.mpi import run_collective_once
+from repro.power import (
+    SchemeComparison,
+    energy_delay_product,
+    energy_delay_squared,
+)
+
+
+def test_edp_and_ed2p_formulas():
+    assert energy_delay_product(10.0, 2.0) == 20.0
+    assert energy_delay_squared(10.0, 2.0) == 40.0
+
+
+def test_metrics_reject_negative():
+    with pytest.raises(ValueError):
+        energy_delay_product(-1.0, 2.0)
+    with pytest.raises(ValueError):
+        energy_delay_squared(1.0, -2.0)
+
+
+def test_comparison_properties():
+    cmp = SchemeComparison(
+        baseline_energy_j=100.0,
+        baseline_duration_s=1.0,
+        scheme_energy_j=90.0,
+        scheme_duration_s=1.05,
+    )
+    assert cmp.energy_saving == pytest.approx(0.10)
+    assert cmp.slowdown == pytest.approx(0.05)
+    assert cmp.edp_ratio == pytest.approx(0.9 * 1.05)
+    assert cmp.ed2p_ratio == pytest.approx(0.9 * 1.05**2)
+    assert cmp.worthwhile(max_slowdown=0.05)
+    assert not cmp.worthwhile(max_slowdown=0.04)
+
+
+def test_comparison_from_job_results():
+    base = run_collective_once("alltoall", 1 << 20, 64)
+    from repro.collectives import CollectiveConfig, CollectiveEngine
+
+    prop = run_collective_once(
+        "alltoall", 1 << 20, 64,
+        collectives=CollectiveEngine(CollectiveConfig(power_mode=PowerMode.PROPOSED)),
+    )
+    cmp = SchemeComparison.from_results(base, prop)
+    assert cmp.energy_saving > 0
+    assert cmp.edp_ratio < 1.0  # the paper's scheme wins under EDP
+
+
+def test_comparison_from_app_results():
+    app = app_from_trace(
+        "t", 16,
+        [ComputeEvent(5e-3), CollectiveCall("alltoall", 128 << 10)],
+        iterations=4, sim_iterations=2,
+    )
+    base = run_app(app, 16)
+    prop = run_app(app, 16, PowerMode.PROPOSED)
+    cmp = SchemeComparison.from_results(base, prop)
+    assert cmp.energy_saving > 0
+    assert cmp.slowdown < 0.10

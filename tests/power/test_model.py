@@ -1,0 +1,120 @@
+"""Tests for the instantaneous power model and its paper calibration."""
+
+import pytest
+
+from repro.cluster import Activity, Cluster, ClusterSpec
+from repro.power import PowerModel, PowerModelParams, fit
+from repro.power.calibration import (
+    PAPER_SYSTEM_W_DEFAULT,
+    PAPER_SYSTEM_W_DVFS,
+    PAPER_SYSTEM_W_PROPOSED,
+)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.paper_testbed())
+
+
+@pytest.fixture
+def model():
+    return PowerModel()
+
+
+def test_core_power_increases_with_frequency(model):
+    assert model.full_core_power(2.4) > model.full_core_power(1.6)
+
+
+def test_gate_bounds(model):
+    assert model.gate(0) == pytest.approx(1.0)
+    assert 0.0 < model.gate(7) < 1.0
+    gates = [model.gate(j) for j in range(8)]
+    assert all(a > b for a, b in zip(gates, gates[1:]))
+
+
+def test_activity_scales_power(model, cluster):
+    core = cluster.cores[0]
+    core.set_activity(Activity.POLLING, 0.0)
+    polling = model.core_power(core)
+    core.set_activity(Activity.IDLE, 0.0)
+    idle = model.core_power(core)
+    core.set_activity(Activity.BLOCKED, 0.0)
+    blocked = model.core_power(core)
+    assert polling > blocked > idle
+
+
+def test_compute_equals_polling_power(model, cluster):
+    """Polling spins the core flat out: same draw as computation (the basis
+    of the paper's claim that polling wastes power)."""
+    core = cluster.cores[0]
+    core.set_activity(Activity.POLLING, 0.0)
+    p1 = model.core_power(core)
+    core.set_activity(Activity.COMPUTE, 0.0)
+    assert model.core_power(core) == pytest.approx(p1)
+
+
+def test_system_power_default_matches_paper(model, cluster):
+    """All 64 cores polling at fmax ⇒ ≈2.3 kW (Fig 7b 'No-Power')."""
+    cluster.set_all(0.0, frequency_ghz=2.4, activity=Activity.POLLING)
+    assert model.system_power(cluster) == pytest.approx(PAPER_SYSTEM_W_DEFAULT, rel=0.01)
+
+
+def test_system_power_dvfs_matches_paper(model, cluster):
+    """All cores polling at fmin ⇒ ≈1.8 kW (Fig 7b 'Freq-Scaling')."""
+    cluster.set_all(0.0, frequency_ghz=1.6, activity=Activity.POLLING)
+    assert model.system_power(cluster) == pytest.approx(PAPER_SYSTEM_W_DVFS, rel=0.01)
+
+
+def test_system_power_proposed_matches_paper(model, cluster):
+    """fmin with half the cores at T7 ⇒ ≈1.6 kW (Fig 7b 'Proposed')."""
+    cluster.set_all(0.0, frequency_ghz=1.6, activity=Activity.POLLING)
+    for node in cluster.nodes:
+        node.sockets[1].set_tstate(7, 0.0)
+    assert model.system_power(cluster) == pytest.approx(PAPER_SYSTEM_W_PROPOSED, rel=0.01)
+
+
+def test_proposed_bcast_state_saves_more_than_dvfs(model, cluster):
+    """Socket A at T4 + socket B at T7 (power-aware bcast, §V-B) must sit
+    below the DVFS-only level."""
+    cluster.set_all(0.0, frequency_ghz=1.6, activity=Activity.POLLING)
+    for node in cluster.nodes:
+        node.sockets[0].set_tstate(4, 0.0)
+        node.sockets[1].set_tstate(7, 0.0)
+    p = model.system_power(cluster)
+    assert p < PAPER_SYSTEM_W_PROPOSED
+    assert p > 1000.0
+
+
+def test_fit_reproduces_defaults():
+    result = fit()
+    params = PowerModelParams()
+    assert result.core_idle_w == pytest.approx(params.core_idle_w, abs=0.01)
+    assert result.core_dyn_w_per_ghz3 == pytest.approx(
+        params.core_dyn_w_per_ghz3, abs=0.001
+    )
+    assert result.throttle_gating == pytest.approx(params.throttle_gating, abs=0.001)
+
+
+def test_fit_self_consistency():
+    result = fit()
+    assert result.system_power_all_polling(2.4) == pytest.approx(2300.0, abs=1.0)
+    assert result.system_power_all_polling(1.6) == pytest.approx(1800.0, abs=1.0)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        PowerModelParams(throttle_gating=1.5)
+    with pytest.raises(ValueError):
+        PowerModelParams(core_idle_w=-1.0)
+    with pytest.raises(ValueError):
+        PowerModelParams(activity_factors={Activity.IDLE: 0.3})
+
+
+def test_core_power_for_matches_core_power(model, cluster):
+    core = cluster.cores[0]
+    core.set_frequency(1.6, 0.0)
+    core.set_tstate(4, 0.0)
+    core.set_activity(Activity.POLLING, 0.0)
+    assert model.core_power(core) == pytest.approx(
+        model.core_power_for(1.6, 4, Activity.POLLING)
+    )

@@ -1,0 +1,207 @@
+"""Edge-case and robustness tests for the DES core."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_interrupt_while_waiting_on_condition():
+    env = Environment()
+    log = []
+
+    def waiter(env):
+        try:
+            yield env.all_of([env.timeout(50.0), env.timeout(60.0)])
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt("stop")
+
+    victim = env.process(waiter(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(1.0, "stop")]
+
+
+def test_interrupted_process_can_rewait_original_event():
+    env = Environment()
+    log = []
+
+    def waiter(env):
+        target = env.timeout(10.0, value="late")
+        try:
+            yield target
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        value = yield target  # the timeout still fires on schedule
+        log.append((value, env.now))
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt()
+
+    victim = env.process(waiter(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("interrupted", 2.0), ("late", 10.0)]
+
+
+def test_uncaught_interrupt_fails_the_process():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)  # does not handle Interrupt
+
+    def interrupter(env, victim):
+        yield env.timeout(0.5)
+        victim.interrupt()
+
+    p = env.process(quick(env))
+    env.process(interrupter(env, p))
+    with pytest.raises(Interrupt):
+        env.run()
+    assert not p.is_alive
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+    errors = []
+
+    def suicidal(env):
+        me = env.active_process
+        try:
+            me.interrupt()
+        except SimulationError as exc:
+            errors.append(str(exc))
+        yield env.timeout(1.0)
+
+    env.process(suicidal(env))
+    env.run()
+    assert errors and "interrupt itself" in errors[0]
+
+
+def test_defused_failure_does_not_propagate():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("handled elsewhere"))
+    ev.defuse()
+    env.run()  # must not raise
+
+
+def test_process_event_failure_with_no_watcher_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise KeyError("unwatched")
+
+    env.process(bad(env))
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_condition_with_failed_and_succeeded_mixed():
+    env = Environment()
+    caught = []
+
+    def proc(env):
+        ok = env.timeout(1.0)
+        bad = env.event()
+        bad.fail(ValueError("boom"))
+        bad.defuse()
+        try:
+            yield env.all_of([ok, bad])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(proc(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        Process(env, lambda: None)  # not a generator
+
+
+def test_timeout_zero_fires_same_timestep():
+    env = Environment()
+    order = []
+
+    def proc(env):
+        yield env.timeout(0.0)
+        order.append("a")
+        yield env.timeout(0.0)
+        order.append("b")
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 0.0
+    assert order == ["a", "b"]
+
+
+def test_deeply_nested_processes():
+    env = Environment()
+
+    def leaf(env, depth):
+        yield env.timeout(1.0)
+        return depth
+
+    def node(env, depth):
+        if depth == 0:
+            value = yield from leaf(env, depth)
+            return value
+        child = env.process(node(env, depth - 1))
+        value = yield child
+        return value + 1
+
+    root = env.process(node(env, 50))
+    env.run()
+    assert root.value == 50
+
+
+def test_massive_fanout_completes():
+    env = Environment()
+    done = []
+
+    def child(env, i):
+        yield env.timeout((i % 13) * 1e-3)
+        done.append(i)
+
+    def parent(env):
+        children = [env.process(child(env, i)) for i in range(500)]
+        yield env.all_of(children)
+
+    env.process(parent(env))
+    env.run()
+    assert len(done) == 500
+
+
+def test_run_until_horizon_with_drained_queue():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=100.0)  # queue drains long before the horizon
+    assert env.now <= 100.0
+
+
+def test_event_repr_and_states():
+    env = Environment()
+    ev = env.event()
+    assert "pending" in repr(ev)
+    ev.succeed()
+    assert "triggered" in repr(ev)

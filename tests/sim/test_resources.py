@@ -1,0 +1,218 @@
+"""Tests for Store, Resource and Signal primitives."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Signal, Store
+
+
+# ---------------------------------------------------------------- Store
+def test_store_fifo_order():
+    env = Environment()
+    got = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    store = Store(env)
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    stamps = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        stamps.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(4.0)
+        yield store.put("late")
+
+    store = Store(env)
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert stamps == [(4.0, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    stamps = []
+
+    def producer(env, store):
+        yield store.put("a")
+        yield store.put("b")  # blocks: capacity 1
+        stamps.append(env.now)
+
+    def consumer(env, store):
+        yield env.timeout(2.0)
+        yield store.get()
+
+    store = Store(env, capacity=1)
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert stamps == [2.0]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len_tracks_items():
+    env = Environment()
+    store = Store(env)
+
+    def proc(env, store):
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(proc(env, store))
+    env.run()
+    assert len(store) == 2
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_grants_in_fifo_order():
+    env = Environment()
+    order = []
+
+    def worker(env, res, tag, hold):
+        req = res.request()
+        yield req
+        order.append(("acq", tag, env.now))
+        yield env.timeout(hold)
+        req.release()
+
+    res = Resource(env, capacity=1)
+    env.process(worker(env, res, "a", 2.0))
+    env.process(worker(env, res, "b", 1.0))
+    env.process(worker(env, res, "c", 1.0))
+    env.run()
+    assert order == [("acq", "a", 0.0), ("acq", "b", 2.0), ("acq", "c", 3.0)]
+
+
+def test_resource_capacity_two_runs_concurrently():
+    env = Environment()
+    acquired = []
+
+    def worker(env, res, tag):
+        with res.request() as req:
+            yield req
+            acquired.append((tag, env.now))
+            yield env.timeout(1.0)
+
+    res = Resource(env, capacity=2)
+    for tag in ("a", "b", "c"):
+        env.process(worker(env, res, tag))
+    env.run()
+    assert acquired == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_release_idempotent():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc(env, res):
+        req = res.request()
+        yield req
+        req.release()
+        req.release()  # second release is a no-op
+
+    env.process(proc(env, res))
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    granted = []
+
+    def holder(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(5.0)
+        req.release()
+
+    def impatient(env, res):
+        yield env.timeout(1.0)
+        req = res.request()  # waits behind holder
+        req.release()  # gives up before grant
+        yield env.timeout(0.0)
+
+    def patient(env, res):
+        yield env.timeout(2.0)
+        req = res.request()
+        yield req
+        granted.append(env.now)
+        req.release()
+
+    env.process(holder(env, res))
+    env.process(impatient(env, res))
+    env.process(patient(env, res))
+    env.run()
+    assert granted == [5.0]
+
+
+# ---------------------------------------------------------------- Signal
+def test_signal_releases_all_waiters():
+    env = Environment()
+    woken = []
+
+    def waiter(env, sig, tag):
+        value = yield sig.wait()
+        woken.append((tag, env.now, value))
+
+    def firer(env, sig):
+        yield env.timeout(3.0)
+        sig.fire("go")
+
+    sig = Signal(env)
+    env.process(waiter(env, sig, "a"))
+    env.process(waiter(env, sig, "b"))
+    env.process(firer(env, sig))
+    env.run()
+    assert woken == [("a", 3.0, "go"), ("b", 3.0, "go")]
+
+
+def test_signal_rearms_after_fire():
+    env = Environment()
+    woken = []
+
+    def waiter(env, sig):
+        yield sig.wait()
+        woken.append(env.now)
+        yield sig.wait()
+        woken.append(env.now)
+
+    def firer(env, sig):
+        yield env.timeout(1.0)
+        sig.fire()
+        yield env.timeout(1.0)
+        sig.fire()
+
+    sig = Signal(env)
+    env.process(waiter(env, sig))
+    env.process(firer(env, sig))
+    env.run()
+    assert woken == [1.0, 2.0]

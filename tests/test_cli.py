@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _parse_size, build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_parse_size():
+    assert _parse_size("4") == 4
+    assert _parse_size("16K") == 16 << 10
+    assert _parse_size("1M") == 1 << 20
+    assert _parse_size("2m") == 2 << 20
+
+
+def test_info():
+    code, text = run_cli("info")
+    assert code == 0
+    assert "total cores" in text
+    assert "64" in text
+
+
+def test_experiments_listing():
+    code, text = run_cli("experiments")
+    assert code == 0
+    for name in ("fig7a", "table1", "ext-racks"):
+        assert name in text
+
+
+def test_experiment_names_all_registered():
+    # Every experiment in the registry is callable with no args.
+    for fn in EXPERIMENTS.values():
+        assert callable(fn)
+        assert fn.__doc__
+
+
+def test_osu_latency_command():
+    code, text = run_cli("osu", "latency", "--size", "4K")
+    assert code == 0
+    assert "Latency (us)" in text
+    assert "4K" in text
+
+
+def test_osu_collective_command():
+    code, text = run_cli("osu", "bcast", "--size", "64K", "--ranks", "32",
+                         "--mode", "dvfs")
+    assert code == 0
+    assert "Avg latency" in text
+
+
+def test_osu_bw_intra_node():
+    code, text = run_cli("osu", "bw", "--size", "256K", "--intra-node")
+    assert code == 0
+    assert "Bandwidth" in text
+
+
+def test_app_command():
+    code, text = run_cli("app", "nas-is", "--ranks", "64", "--mode", "proposed")
+    assert code == 0
+    assert "energy (kJ)" in text
+    assert "alltoall fraction" in text
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])

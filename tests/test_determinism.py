@@ -1,0 +1,115 @@
+"""End-to-end determinism and cross-layer integration properties.
+
+The DESIGN.md guarantee: identical configurations produce identical
+timelines — durations, energies, per-rank finish times, power traces.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import CollectiveConfig, CollectiveEngine, PowerMode
+from repro.mpi import MpiJob
+
+
+def _mixed_program(ops):
+    def program(ctx):
+        for op, nbytes in ops:
+            yield from getattr(ctx, op)(nbytes)
+
+    return program
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["alltoall", "bcast", "reduce", "allreduce", "allgather"]),
+        st.sampled_from([256, 4 << 10, 64 << 10]),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@given(ops=OPS, mode=st.sampled_from(list(PowerMode)))
+@settings(max_examples=10, deadline=None)
+def test_job_runs_are_bit_identical(ops, mode):
+    def run_once():
+        job = MpiJob(
+            16, collectives=CollectiveEngine(CollectiveConfig(power_mode=mode))
+        )
+        result = job.run(_mixed_program(ops))
+        return (
+            result.duration_s,
+            result.energy_j,
+            tuple(result.rank_finish_times),
+            result.stats.dvfs_transitions,
+            result.stats.throttle_transitions,
+        )
+
+    assert run_once() == run_once()
+
+
+@given(ops=OPS)
+@settings(max_examples=10, deadline=None)
+def test_all_collectives_leave_engine_quiescent(ops):
+    job = MpiJob(16)
+    job.run(_mixed_program(ops))
+    assert job.engine.quiescent()
+
+
+def test_power_trace_deterministic():
+    def run_once():
+        job = MpiJob(
+            64,
+            collectives=CollectiveEngine(
+                CollectiveConfig(power_mode=PowerMode.PROPOSED)
+            ),
+        )
+
+        def program(ctx):
+            yield from ctx.alltoall(256 << 10)
+
+        result = job.run(program)
+        trace = result.power_trace(interval_s=0.01)
+        return trace.power_w.tolist()
+
+    assert run_once() == run_once()
+
+
+def test_energy_additive_across_iterations():
+    """Energy of n identical collectives ≈ n x energy of one (steady
+    state; the basis for app-profile extrapolation)."""
+
+    def run(iterations):
+        job = MpiJob(16)
+
+        def program(ctx):
+            for _ in range(iterations):
+                yield from ctx.alltoall(64 << 10)
+
+        return job.run(program)
+
+    one = run(1)
+    three = run(3)
+    assert three.energy_j == pytest.approx(3 * one.energy_j, rel=0.02)
+    assert three.duration_s == pytest.approx(3 * one.duration_s, rel=0.02)
+
+
+def test_energy_time_power_consistency():
+    """E = ∫P dt: total energy equals mean trace power x duration."""
+    job = MpiJob(64)
+
+    def program(ctx):
+        yield from ctx.compute(0.2)
+        yield from ctx.alltoall(1 << 20)
+
+    result = job.run(program)
+    trace = result.power_trace(interval_s=0.01)
+    integrated = sum(
+        p * w
+        for p, w in zip(
+            trace.power_w,
+            [trace.times_s[0]] + list(trace.times_s[1:] - trace.times_s[:-1]),
+        )
+    )
+    assert integrated == pytest.approx(result.energy_j, rel=1e-6)

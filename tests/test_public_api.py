@@ -1,0 +1,63 @@
+"""Quality gates on the public API surface: exports resolve, are
+documented, and the package version is consistent."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.cluster",
+    "repro.network",
+    "repro.power",
+    "repro.mpi",
+    "repro.collectives",
+    "repro.models",
+    "repro.apps",
+    "repro.bench",
+    "repro.microbench",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} must declare __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_callables_documented(name):
+    module = importlib.import_module(name)
+    for symbol in module.__all__:
+        obj = getattr(module, symbol)
+        if callable(obj) and not isinstance(obj, type):
+            assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+        elif isinstance(obj, type):
+            assert obj.__doc__, f"class {name}.{symbol} lacks a docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings_present(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+def test_version_attribute():
+    import repro
+
+    assert repro.__version__ == "0.1.0"
+
+
+def test_no_circular_import_surprises():
+    """Importing leaf modules directly works without the package facade."""
+    for name in (
+        "repro.collectives.power_alltoall",
+        "repro.apps.kernels",
+        "repro.models.fitting",
+        "repro.validate",
+        "repro.cli",
+    ):
+        importlib.import_module(name)

@@ -1,0 +1,74 @@
+"""Tests for the configuration validator."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, CpuSpec, NodeSpec
+from repro.network import NetworkSpec
+from repro.power import PowerModelParams
+from repro.validate import Finding, is_valid, validate_configuration
+
+
+def test_default_configuration_is_valid():
+    findings = validate_configuration()
+    assert is_valid(findings)
+    assert not any(f.severity == "error" for f in findings)
+
+
+def test_single_pstate_warns():
+    cpu = CpuSpec(pstates_ghz=(2.4,))
+    spec = ClusterSpec(node=NodeSpec(cpu=cpu))
+    findings = validate_configuration(cluster=spec)
+    assert any("single P-state" in f.message for f in findings)
+    assert is_valid(findings)  # warning only
+
+
+def test_huge_dvfs_latency_warns():
+    cpu = CpuSpec(dvfs_latency_s=5e-3)
+    findings = validate_configuration(cluster=ClusterSpec(node=NodeSpec(cpu=cpu)))
+    assert any("Odvfs" in f.message for f in findings)
+
+
+def test_non_two_socket_informs():
+    spec = ClusterSpec(node=NodeSpec(sockets=4))
+    findings = validate_configuration(cluster=spec)
+    assert any("sockets/node" in f.message for f in findings)
+
+
+def test_slow_shm_warns():
+    net = NetworkSpec(shm_bw=1.0e9)
+    findings = validate_configuration(network=net)
+    assert any("shared-memory bandwidth" in f.message for f in findings)
+
+
+def test_memory_below_pair_bandwidth_is_error():
+    net = NetworkSpec(shm_bw=4.5e9, mem_bw_node=4.0e9)
+    findings = validate_configuration(network=net)
+    assert not is_valid(findings)
+
+
+def test_weak_cpu_feed_warns():
+    net = NetworkSpec(cpu_feed_bw=1.0e9)
+    findings = validate_configuration(network=net)
+    assert any("CPU feed" in f.message for f in findings)
+
+
+def test_absurd_core_power_warns():
+    power = PowerModelParams(core_idle_w=90.0, core_dyn_w_per_ghz3=5.0)
+    findings = validate_configuration(power=power)
+    assert any("per core" in f.message for f in findings)
+
+
+def test_finding_str():
+    f = Finding("warning", "something")
+    assert str(f) == "[warning] something"
+
+
+def test_cli_validate_command():
+    import io
+
+    from repro.cli import main
+
+    out = io.StringIO()
+    code = main(["validate"], out=out)
+    assert code == 0
+    assert "configuration OK" in out.getvalue()
