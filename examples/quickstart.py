@@ -13,6 +13,7 @@ from repro import (
     CollectiveEngine,
     MpiJob,
     PowerMode,
+    SimSession,
 )
 
 
@@ -24,8 +25,9 @@ def program(ctx):
 def main() -> None:
     print(f"{'scheme':14s} {'latency':>12s} {'avg power':>11s} {'energy':>9s}")
     for mode in PowerMode:
+        session = SimSession()  # one substrate per run: env+cluster+fabric+power
         engine = CollectiveEngine(CollectiveConfig(power_mode=mode))
-        job = MpiJob(n_ranks=64, collectives=engine)
+        job = MpiJob(n_ranks=64, session=session, collectives=engine)
         result = job.run(program)
         print(
             f"{mode.value:14s} {result.duration_s * 1e3:9.2f} ms "

@@ -8,9 +8,11 @@ used in the evaluation.
 
 Quick start::
 
-    from repro import MpiJob, CollectiveConfig, CollectiveEngine, PowerMode
+    from repro import (CollectiveConfig, CollectiveEngine, MpiJob,
+                       PowerMode, SimSession)
 
-    job = MpiJob(64, collectives=CollectiveEngine(
+    session = SimSession()          # env + cluster + fabric + power + tracer
+    job = MpiJob(64, session=session, collectives=CollectiveEngine(
         CollectiveConfig(power_mode=PowerMode.PROPOSED)))
 
     def program(ctx):
@@ -32,6 +34,15 @@ from .collectives import CollectiveConfig, CollectiveEngine, PowerMode
 from .mpi import JobResult, MpiJob, ProgressMode, RankContext, run_collective_once
 from .network import NetworkSpec
 from .power import EnergyAccountant, PowerMeter, PowerModel, PowerModelParams
+from .sim import (
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    SessionConfigError,
+    SimSession,
+    Tracer,
+    use_tracer,
+)
 
 __version__ = "0.1.0"
 
@@ -44,16 +55,23 @@ __all__ = [
     "CpuSpec",
     "EnergyAccountant",
     "JobResult",
+    "JsonlTracer",
     "MpiJob",
     "NetworkSpec",
     "NodeSpec",
+    "NullTracer",
     "PowerMeter",
     "PowerMode",
     "PowerModel",
     "PowerModelParams",
     "ProgressMode",
     "RankContext",
+    "RecordingTracer",
+    "SessionConfigError",
+    "SimSession",
     "ThrottleGranularity",
+    "Tracer",
     "run_collective_once",
+    "use_tracer",
     "__version__",
 ]

@@ -17,7 +17,7 @@ effects).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..cluster.specs import ClusterSpec
@@ -179,6 +179,12 @@ def run_app(
         keep_segments=keep_segments,
         **job_kwargs,
     )
+    tracer = job.session.tracer
+    if tracer.enabled:
+        tracer.mark(
+            job.env.now, "app.start",
+            app=app.name, ranks=n_ranks, mode=power_mode.value,
+        )
     alltoall_seconds: Dict[int, float] = {}
     result = job.run(build_program(profile, alltoall_seconds))
     scale = profile.scale

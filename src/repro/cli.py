@@ -17,8 +17,10 @@ Commands
 from __future__ import annotations
 
 import argparse
+import contextlib
+import re
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from . import bench
 from .apps import CPMD_TA_INP_MD, CPMD_WAT32_INP1, CPMD_WAT32_INP2, NAS_FT, NAS_IS, run_app
@@ -77,6 +79,60 @@ def _power_mode(name: str) -> PowerMode:
     return PowerMode(name)
 
 
+def _canonical_experiment(name: str) -> Optional[str]:
+    """Resolve an experiment name, tolerating zero-padding ('fig07a')."""
+    key = name.lower()
+    if key in EXPERIMENTS:
+        return key
+    m = re.fullmatch(r"(fig|table)0*(\d+)([a-z]?)", key)
+    if m:
+        key = f"{m.group(1)}{int(m.group(2))}{m.group(3)}"
+        if key in EXPERIMENTS:
+            return key
+    return None
+
+
+def _add_instrumentation_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSONL event trace of every simulation to FILE "
+             "(schema: repro.sim.trace)",
+    )
+    subparser.add_argument(
+        "--profile", action="store_true",
+        help="print a wall-clock self-profile of the simulator afterwards",
+    )
+
+
+def _instrumented(args, out, fn: Callable[[], int]) -> int:
+    """Run ``fn`` under the --trace / --profile scopes when requested."""
+    from .bench.profile import SelfProfile
+    from .sim.trace import JsonlTracer, use_tracer
+
+    trace_path = getattr(args, "trace", None)
+    profile = SelfProfile() if getattr(args, "profile", False) else None
+    with contextlib.ExitStack() as stack:
+        tracer = None
+        if trace_path is not None:
+            try:
+                tracer = stack.enter_context(JsonlTracer(trace_path))
+            except OSError as exc:
+                print(f"cannot open trace file {trace_path!r}: {exc}", file=out)
+                return 2
+            stack.enter_context(use_tracer(tracer))
+        if profile is not None:
+            stack.enter_context(profile)
+        rc = fn()
+    if tracer is not None:
+        print(
+            f"wrote {tracer.records_written} trace records to {trace_path}",
+            file=out,
+        )
+    if profile is not None:
+        print(profile.report(), file=out)
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -89,9 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("validate", help="sanity-check the default configuration")
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
-    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("name", metavar="NAME",
+                       help="experiment name (see `experiments`); zero-padded "
+                            "forms like fig07a are accepted")
     p_exp.add_argument("--json", metavar="DIR", default=None,
                        help="also write results/<name>.json under DIR")
+    _add_instrumentation_flags(p_exp)
 
     p_osu = sub.add_parser("osu", help="run a simulated OSU microbenchmark")
     p_osu.add_argument(
@@ -108,12 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use blocking progression (default: polling)")
     p_osu.add_argument("--intra-node", action="store_true",
                        help="p2p benchmarks: use a same-node pair")
+    _add_instrumentation_flags(p_osu)
 
     p_app = sub.add_parser("app", help="run an application workload")
     p_app.add_argument("name", choices=sorted(APPS))
     p_app.add_argument("--ranks", type=int, default=64, choices=[32, 64])
     p_app.add_argument("--mode", choices=[m.value for m in PowerMode],
                        default="none")
+    _add_instrumentation_flags(p_app)
     return parser
 
 
@@ -211,11 +272,21 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         print("configuration OK" if ok else "configuration INVALID", file=out)
         return 0 if ok else 1
     if args.command == "experiment":
-        return cmd_experiment(args.name, out, json_dir=args.json)
+        name = _canonical_experiment(args.name)
+        if name is None:
+            print(
+                f"unknown experiment {args.name!r}; run "
+                "`python -m repro experiments` for the list",
+                file=out,
+            )
+            return 2
+        return _instrumented(
+            args, out, lambda: cmd_experiment(name, out, json_dir=args.json)
+        )
     if args.command == "osu":
-        return cmd_osu(args, out)
+        return _instrumented(args, out, lambda: cmd_osu(args, out))
     if args.command == "app":
-        return cmd_app(args, out)
+        return _instrumented(args, out, lambda: cmd_app(args, out))
     raise AssertionError("unreachable")  # pragma: no cover
 
 

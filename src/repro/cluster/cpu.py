@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, List, Optional
 
+from ..sim.trace import NULL_TRACER, Tracer
 from .specs import CpuSpec, NUM_TSTATES, ThrottleGranularity, tstate_duty
 
 
@@ -45,6 +46,7 @@ class Core:
         "tstate",
         "activity",
         "_listeners",
+        "tracer",
     )
 
     def __init__(
@@ -67,6 +69,7 @@ class Core:
         self.tstate = 0
         self.activity = Activity.IDLE
         self._listeners: List[StateListener] = []
+        self.tracer: Tracer = NULL_TRACER
 
     # -- observation -------------------------------------------------------
     def add_listener(self, listener: StateListener) -> None:
@@ -92,6 +95,11 @@ class Core:
         if snapped == self.frequency_ghz:
             return
         self._notify(now)
+        if self.tracer.enabled:
+            self.tracer.power_state(
+                now, self.core_id, self.node_id, "frequency",
+                self.frequency_ghz, snapped,
+            )
         self.frequency_ghz = snapped
 
     def set_tstate(self, level: int, now: float) -> None:
@@ -101,12 +109,21 @@ class Core:
         if level == self.tstate:
             return
         self._notify(now)
+        if self.tracer.enabled:
+            self.tracer.power_state(
+                now, self.core_id, self.node_id, "tstate", self.tstate, level
+            )
         self.tstate = level
 
     def set_activity(self, activity: Activity, now: float) -> None:
         if activity == self.activity:
             return
         self._notify(now)
+        if self.tracer.enabled:
+            self.tracer.core_activity(
+                now, self.core_id, self.node_id,
+                self.activity.value, activity.value,
+            )
         self.activity = activity
 
     # -- derived quantities --------------------------------------------------

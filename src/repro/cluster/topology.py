@@ -99,6 +99,11 @@ class Cluster:
         for core in self.cores:
             core.add_listener(listener)
 
+    def attach_tracer(self, tracer) -> None:
+        """Point every core's instrumentation hook at ``tracer``."""
+        for core in self.cores:
+            core.tracer = tracer
+
     def set_all(self, now: float, frequency_ghz=None, tstate=None, activity=None) -> None:
         """Bulk state change, used for test setup and job teardown."""
         for core in self.cores:

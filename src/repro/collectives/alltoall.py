@@ -4,7 +4,7 @@ Bruck/hypercube algorithm (small messages), as used by MVAPICH2 (§IV-A).
 
 from __future__ import annotations
 
-from .base import is_power_of_two, pairwise_partner, tag_for, validate_collective_args
+from .base import pairwise_partner, tag_for, validate_collective_args
 
 
 def pairwise_alltoall(ctx, nbytes: int, comm, seq: int):

@@ -30,6 +30,11 @@ def dvfs_up(ctx, charge: bool = True):
 def with_dvfs(ctx, inner):
     """Run ``inner`` (a collective generator) between a DVFS down/up pair —
     the paper's "Freq-Scaling" comparison scheme."""
+    tracer = ctx.env.tracer
+    if tracer.enabled:
+        tracer.mark(ctx.env.now, "power.freq_scaling.begin", rank=ctx.rank)
     yield from dvfs_down(ctx)
     yield from inner
     yield from dvfs_up(ctx)
+    if tracer.enabled:
+        tracer.mark(ctx.env.now, "power.freq_scaling.end", rank=ctx.rank)

@@ -15,7 +15,7 @@ the call and, for the network phase, throttle:
 from __future__ import annotations
 
 from ..cluster.specs import ThrottleGranularity
-from .bcast import _leader_bcast, mc_bcast, shm_bcast
+from .bcast import _leader_bcast, shm_bcast
 from .power_control import T_FULL, T_LOW, T_PARTIAL, dvfs_down, dvfs_up
 from .reduce import binomial_reduce, shm_reduce
 from .base import tag_for, validate_collective_args

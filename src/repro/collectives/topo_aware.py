@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from ..cluster.specs import ThrottleGranularity
 from .base import tag_for, validate_collective_args
-from .bcast import binomial_bcast, scatter_allgather_bcast, shm_bcast
+from .bcast import scatter_allgather_bcast, shm_bcast
 from .power_control import T_FULL, T_LOW, T_PARTIAL, dvfs_down, dvfs_up
 from .reduce import binomial_reduce, shm_reduce
 

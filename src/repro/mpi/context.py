@@ -194,7 +194,7 @@ class RankContext:
         if charge:
             yield self.env.timeout(self.core.spec.dvfs_latency_s)
         self.core.set_frequency(freq_ghz, self.env.now)
-        self.job.net.dvfs_changed()
+        self.job.net.dvfs_changed(self.core.node_id)
         self.job.stats.dvfs_transitions += 1
 
     def throttle(self, level: int, charge: bool = True):

@@ -1,34 +1,44 @@
-"""Job runner: wires the cluster, network, power and MPI layers together
-and executes one rank-program across all ranks.
+"""Job runner: executes one rank-program across all ranks on a
+:class:`~repro.sim.session.SimSession` substrate.
 
 Typical use::
 
     job = MpiJob(n_ranks=64)
     result = job.run(my_program, arg1, arg2)
     print(result.duration_s, result.energy_kj)
+
+A job either adopts the session passed in or builds a private one from the
+spec arguments (the historical signature).  Either way the session owns
+env + cluster + fabric + power model + tracer; the job adds the MPI-side
+machinery (affinity, message engine, communicators, rank contexts).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..cluster.affinity import AffinityMap, AffinityPolicy
 from ..cluster.cpu import Activity
 from ..cluster.specs import ClusterSpec
-from ..cluster.topology import Cluster
-from ..network.ibnet import IBNetwork
 from ..network.params import NetworkSpec
 from ..power.accounting import EnergyAccountant
 from ..power.meter import PowerMeter, PowerTrace
-from ..power.model import PowerModel, PowerModelParams
-from ..sim import Environment, Event
+from ..power.model import PowerModelParams
+from ..sim import Event
+from ..sim.session import SimSession
 from .communicator import CommLayout, CommunicatorFactory
 from .context import RankContext
 from .p2p import MessageEngine, ProgressMode
 
 #: A rank program: generator function taking (ctx, *args, **kwargs).
 RankProgram = Callable[..., Any]
+
+#: Hooks invoked as ``observer(job, result)`` after every completed run —
+#: the bench self-profile registers here to collect wall-clock numbers
+#: without the job layer knowing about benchmarking.
+JOB_OBSERVERS: List[Callable[["MpiJob", "JobResult"], None]] = []
 
 
 @dataclass
@@ -40,6 +50,15 @@ class JobStats:
     #: Accumulated wall time per instrumented collective phase, e.g.
     #: "bcast.network" (used for Fig 2b/2c reproduction).
     phase_times: Dict[str, float] = field(default_factory=dict)
+    #: Self-profile of the run itself: host wall-clock seconds spent inside
+    #: ``MpiJob.run`` and the kernel events it took (simulator *speed*, as
+    #: opposed to the simulated time/energy above).
+    wall_time_s: float = 0.0
+    events_processed: int = 0
+    #: Fabric re-rating effort: water-filling invocations and the total
+    #: flows they covered (small per call under incremental re-rating).
+    rerate_calls: int = 0
+    flows_rerated: int = 0
 
     def add_phase(self, name: str, dt: float) -> None:
         self.phase_times[name] = self.phase_times.get(name, 0.0) + dt
@@ -83,23 +102,30 @@ class MpiJob:
         progress: ProgressMode = ProgressMode.POLLING,
         collectives: Optional["CollectiveEngine"] = None,  # noqa: F821
         keep_segments: bool = True,
+        session: Optional[SimSession] = None,
     ):
         from ..collectives.registry import CollectiveEngine  # local: avoid cycle
 
         self.n_ranks = n_ranks
-        self.env = Environment()
-        self.cluster = Cluster(cluster_spec or ClusterSpec.paper_testbed())
+        if session is None:
+            session = SimSession(
+                cluster_spec=cluster_spec,
+                network_spec=network_spec,
+                power_params=power_params,
+                keep_segments=keep_segments,
+            )
+        self.session = session
+        self.env = session.env
+        self.cluster = session.cluster
         self.affinity = AffinityMap(self.cluster, n_ranks, policy=affinity)
-        self.net = IBNetwork(self.env, self.cluster, network_spec)
+        self.net = session.net
         self.progress = progress
         if progress is ProgressMode.BLOCKING:
             factor = self.net.spec.blocking_nic_factor
             for node_id in self.net.progress_factor:
                 self.net.progress_factor[node_id] = factor
-        self.power_model = PowerModel(power_params)
-        self.accountant = EnergyAccountant(
-            self.cluster, self.power_model, keep_segments=keep_segments
-        )
+        self.power_model = session.power_model
+        self.accountant = session.accountant
         self.engine = MessageEngine(self.env, self.net, self.affinity, progress)
         self._comm_factory = CommunicatorFactory()
         self.layout = CommLayout.build(self._comm_factory, self.affinity)
@@ -161,6 +187,8 @@ class MpiJob:
         if self._ran:
             raise RuntimeError("an MpiJob can only run once; build a new one")
         self._ran = True
+        wall_start = time.perf_counter()
+        events_before = self.env.events_processed
         finish_times: List[float] = [0.0] * self.n_ranks
         returns: List[Any] = [None] * self.n_ranks
 
@@ -180,7 +208,11 @@ class MpiJob:
             )
         end = max(finish_times) if finish_times else self.env.now
         self.accountant.finalize(end)
-        return JobResult(
+        self.stats.wall_time_s = time.perf_counter() - wall_start
+        self.stats.events_processed = self.env.events_processed - events_before
+        self.stats.rerate_calls = self.net.fabric.rerate_calls
+        self.stats.flows_rerated = self.net.fabric.flows_rerated
+        result = JobResult(
             duration_s=end,
             rank_finish_times=finish_times,
             returns=returns,
@@ -189,6 +221,9 @@ class MpiJob:
             stats=self.stats,
             job=self,
         )
+        for observer in JOB_OBSERVERS:
+            observer(self, result)
+        return result
 
 
 def run_collective_once(

@@ -3,9 +3,22 @@
 Every bulk transfer is a :class:`Flow` across an ordered set of
 :class:`Link` s (e.g. source NIC uplink → destination NIC downlink; or the
 node's memory link for shared-memory copies).  Whenever the flow population
-or a link capacity changes, all flow rates are recomputed with the classic
+or a link capacity changes, flow rates are recomputed with the classic
 max-min water-filling algorithm (respecting per-flow caps, which model the
 sending CPU's pipeline feed limit).
+
+Re-rating is *incremental*: the fabric keeps a link → flows index and,
+when a flow arrives/finishes or a link's capacity moves, re-runs
+water-filling only over the affected **connected component** — the flows
+transitively sharing links with a changed link.  Components share no
+links, so their allocations are independent and the untouched ones keep
+their rates (this is exact, not an approximation).  Byte progress is
+settled lazily per flow (each flow remembers when its rate last changed),
+and completions come off a min-heap of predicted finish times guarded by
+per-flow epochs, so superseded predictions are simply skipped — no global
+re-scan per event.  Set ``NetworkSpec(incremental_rerate=False)`` to force
+the historical whole-fabric recompute (the baseline
+``benchmarks/bench_kernel_scaling.py`` measures against).
 
 This is where the paper's contention parameter ``Cnet`` comes from in our
 reproduction: it is *emergent* — eight ranks per node draining through one
@@ -14,10 +27,12 @@ QDR HCA simply share 3 GB/s — rather than a fitted constant.
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim import Environment, Event
+from ..sim.events import Timer
 from .params import NetworkSpec
 
 #: Residual bytes below which a flow is considered complete (far smaller
@@ -60,7 +75,19 @@ class Link:
 class Flow:
     """One in-flight bulk transfer."""
 
-    __slots__ = ("links", "remaining", "rate", "cap", "event", "label")
+    __slots__ = (
+        "links",
+        "nbytes",
+        "remaining",
+        "rate",
+        "cap",
+        "event",
+        "label",
+        "seq",
+        "started_at",
+        "updated_at",
+        "_epoch",
+    )
 
     def __init__(
         self,
@@ -71,11 +98,20 @@ class Flow:
         label: str = "",
     ):
         self.links = links
+        self.nbytes = float(nbytes)
         self.remaining = float(nbytes)
         self.rate = 0.0
         self.cap = cap
         self.event = event
         self.label = label
+        #: Fabric-assigned admission number (deterministic tie-break).
+        self.seq = -1
+        self.started_at = 0.0
+        #: Simulation time up to which ``remaining`` has been settled.
+        self.updated_at = 0.0
+        #: Bumped on every rate change; stale finish-time predictions in
+        #: the completion heap carry an older epoch and are skipped.
+        self._epoch = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Flow {self.label} rem={self.remaining:.0f}B rate={self.rate / 1e9:.2f}GB/s>"
@@ -92,12 +128,17 @@ def maxmin_rates(
     Repeatedly finds the most constrained resource — either a link whose
     fair share is smallest or a flow whose cap binds first — freezes the
     affected flows at that rate, removes their demand, and iterates.
+    The per-link membership index and the cap-sorted cursor are maintained
+    across rounds, so freezing a flow is O(path length) instead of the
+    former O(n) list removal plus per-round full count rebuilds.
 
     ``congestion`` degrades a link carrying n flows to
     ``capacity / (1 + congestion·min(n−1, congestion_saturation))``
     before sharing.
     """
     rates: Dict[Flow, float] = {}
+    if not flows:
+        return rates
     if congestion > 0.0:
         load: Dict[Link, int] = {}
         for flow in flows:
@@ -109,32 +150,54 @@ def maxmin_rates(
             for link, cap in capacities.items()
         }
     residual = dict(capacities)
-    unfrozen = list(flows)
+    # Insertion-ordered structures keep every iteration deterministic
+    # (plain sets would walk in id() order, which varies between runs).
+    unfrozen: Dict[Flow, None] = dict.fromkeys(flows)
+    members: Dict[Link, Dict[Flow, None]] = {}
+    for flow in unfrozen:
+        for link in flow.links:
+            members.setdefault(link, {})[flow] = None
+    flow_list = list(unfrozen)
+    by_cap = sorted(range(len(flow_list)), key=lambda i: (flow_list[i].cap, i))
+    cap_ptr = 0
     while unfrozen:
-        # Fair share per link among its unfrozen flows.
+        while cap_ptr < len(by_cap) and flow_list[by_cap[cap_ptr]] not in unfrozen:
+            cap_ptr += 1
+        min_cap = (
+            flow_list[by_cap[cap_ptr]].cap if cap_ptr < len(by_cap) else math.inf
+        )
         link_share: Dict[Link, float] = {}
-        counts: Dict[Link, int] = {}
-        for flow in unfrozen:
-            for link in flow.links:
-                counts[link] = counts.get(link, 0) + 1
-        for link, n in counts.items():
-            link_share[link] = residual[link] / n
+        for link, flows_on in members.items():
+            if flows_on:
+                link_share[link] = residual[link] / len(flows_on)
         bottleneck_share = min(link_share.values()) if link_share else math.inf
-        min_cap = min(f.cap for f in unfrozen)
         if min_cap < bottleneck_share:
             # Cap binds first: freeze all flows at that cap level.
             level = min_cap
-            frozen = [f for f in unfrozen if f.cap <= level]
+            frozen: List[Flow] = []
+            j = cap_ptr
+            while j < len(by_cap):
+                flow = flow_list[by_cap[j]]
+                if flow.cap > level:
+                    break
+                if flow in unfrozen:
+                    frozen.append(flow)
+                j += 1
         else:
             level = bottleneck_share
-            tight = {l for l, s in link_share.items() if s <= level * (1 + 1e-12)}
-            frozen = [f for f in unfrozen if any(l in tight for l in f.links)]
+            tight = [lk for lk, s in link_share.items() if s <= level * (1 + 1e-12)]
+            frozen_set: Dict[Flow, None] = {}
+            for link in tight:
+                for flow in members[link]:
+                    frozen_set[flow] = None
+            frozen = list(frozen_set)
         for flow in frozen:
             rate = min(level, flow.cap)
             rates[flow] = rate
             for link in flow.links:
                 residual[link] = max(0.0, residual[link] - rate)
-            unfrozen.remove(flow)
+                del members[link][flow]
+            del unfrozen[flow]
     return rates
 
 
@@ -145,9 +208,19 @@ class Fabric:
         self.env = env
         self.spec = spec
         self._links: Dict[str, Link] = {}
-        self._flows: List[Flow] = []
-        self._last_settle = env.now
-        self._timer_generation = 0
+        #: Active flows in admission order (ordered set).
+        self._flows: Dict[Flow, None] = {}
+        #: link → active flows crossing it (ordered set per link).
+        self._flows_on: Dict[Link, Dict[Flow, None]] = {}
+        #: Min-heap of (finish_time, seq, epoch, flow) predictions; entries
+        #: whose epoch lags the flow's are stale and skipped on pop.
+        self._completions: List[Tuple[float, int, int, Flow]] = []
+        self._timer: Optional[Timer] = None
+        self._seq = 0
+        #: Components re-rated since construction (self-profiling metric:
+        #: pairs with ``flows_rerated`` to show the incremental win).
+        self.rerate_calls = 0
+        self.flows_rerated = 0
         #: Total bytes ever carried (observability / tests).
         self.bytes_delivered = 0.0
         #: Per-link counters: bytes carried and flows started (observability
@@ -195,69 +268,165 @@ class Fabric:
         if not links:
             raise ValueError("a transfer needs at least one link")
         flow = Flow(tuple(links), nbytes, cpu_cap, event, label=label)
+        now = self.env.now
+        flow.seq = self._seq
+        self._seq += 1
+        flow.started_at = now
+        flow.updated_at = now
+        self._flows[flow] = None
         for link in flow.links:
+            self._flows_on.setdefault(link, {})[flow] = None
             self.link_bytes[link.name] = self.link_bytes.get(link.name, 0.0) + nbytes
             self.link_flows[link.name] = self.link_flows.get(link.name, 0) + 1
-        self._settle()
-        self._flows.append(flow)
-        self._reallocate()
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.flow_start(now, label, nbytes, [lk.name for lk in flow.links])
+        self._rerate(flow.links)
         return event
 
-    def capacities_changed(self) -> None:
-        """Re-read link capacities (call after DVFS transitions)."""
-        if self._flows:
-            self._settle()
-            self._reallocate()
+    def capacities_changed(self, links: Optional[Iterable[Link]] = None) -> None:
+        """Re-read link capacities (call after DVFS transitions).
 
-    # -- internals ---------------------------------------------------------------
-    def _settle(self) -> None:
-        """Drain bytes at current rates from the last settle point to now."""
-        now = self.env.now
-        dt = now - self._last_settle
-        if dt > 0:
-            for flow in self._flows:
-                moved = flow.rate * dt
-                flow.remaining -= moved
-                self.bytes_delivered += moved
-        self._last_settle = now
-        # Complete anything that just finished.
-        done = [f for f in self._flows if f.remaining <= _EPSILON_BYTES]
-        if done:
-            for flow in done:
-                self.bytes_delivered += max(flow.remaining, 0.0)
-                flow.remaining = 0.0
-                self._flows.remove(flow)
-                flow.event.succeed(now)
-
-    def _reallocate(self) -> None:
-        """Recompute max-min rates and arm the next-completion timer."""
-        self._timer_generation += 1
+        With ``links`` given, only the components touching those links are
+        re-rated; without, every link currently carrying flows is treated
+        as changed (the safe legacy behaviour).
+        """
         if not self._flows:
             return
-        capacities = {}
-        for flow in self._flows:
+        if links is None:
+            links = [lk for lk, flows_on in self._flows_on.items() if flows_on]
+        self._rerate(links)
+
+    # -- internals ---------------------------------------------------------------
+    def _settle_flow(self, flow: Flow, now: float) -> None:
+        """Drain bytes at the current rate since the flow's last update."""
+        dt = now - flow.updated_at
+        if dt > 0.0 and flow.rate > 0.0:
+            moved = flow.rate * dt
+            if moved > flow.remaining:
+                moved = flow.remaining
+            flow.remaining -= moved
+            self.bytes_delivered += moved
+        flow.updated_at = now
+
+    def _component(self, seed_links: Iterable[Link]) -> Dict[Flow, None]:
+        """All active flows transitively sharing links with ``seed_links``."""
+        component: Dict[Flow, None] = {}
+        seen_links = set()
+        stack: List[Link] = []
+        for link in seed_links:
+            if link not in seen_links:
+                seen_links.add(link)
+                stack.append(link)
+        while stack:
+            link = stack.pop()
+            for flow in self._flows_on.get(link, ()):
+                if flow in component:
+                    continue
+                component[flow] = None
+                for other in flow.links:
+                    if other not in seen_links:
+                        seen_links.add(other)
+                        stack.append(other)
+        return component
+
+    def _rerate(self, changed_links: Iterable[Link]) -> None:
+        """Settle and re-run water-filling over the affected component."""
+        if not self._flows:
+            self._arm_timer()
+            return
+        if self.spec.incremental_rerate:
+            component = self._component(changed_links)
+        else:
+            component = dict(self._flows)
+        if not component:
+            self._arm_timer()
+            return
+        self.rerate_calls += 1
+        self.flows_rerated += len(component)
+        now = self.env.now
+        capacities: Dict[Link, float] = {}
+        for flow in component:
+            self._settle_flow(flow, now)
             for link in flow.links:
                 if link not in capacities:
                     capacities[link] = link.capacity
         rates = maxmin_rates(
-            self._flows,
+            list(component),
             capacities,
             self.spec.flow_congestion,
             self.spec.flow_congestion_saturation,
         )
-        next_done = math.inf
-        for flow in self._flows:
+        any_progress = False
+        for flow in component:
             flow.rate = rates[flow]
-            if flow.rate > 0:
-                next_done = min(next_done, flow.remaining / flow.rate)
-        if math.isinf(next_done):  # pragma: no cover - all flows stalled
+            flow._epoch += 1
+            if flow.rate > 0.0:
+                any_progress = True
+                finish = flow.updated_at + flow.remaining / flow.rate
+                heapq.heappush(
+                    self._completions, (finish, flow.seq, flow._epoch, flow)
+                )
+        if not any_progress:  # pragma: no cover - all component flows stalled
             raise RuntimeError("fabric deadlock: active flows with zero rate")
-        generation = self._timer_generation
-        timer = self.env.timeout(next_done)
-        timer.callbacks.append(lambda _ev: self._on_timer(generation))
+        self._arm_timer()
 
-    def _on_timer(self, generation: int) -> None:
-        if generation != self._timer_generation:
-            return  # superseded by a newer reallocation
-        self._settle()
-        self._reallocate()
+    def _arm_timer(self) -> None:
+        """Point the (single, cancellable) wake-up at the next prediction."""
+        heap = self._completions
+        while heap:
+            _, _, epoch, flow = heap[0]
+            if flow in self._flows and epoch == flow._epoch:
+                break
+            heapq.heappop(heap)
+        if not heap:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            return
+        t_next = heap[0][0]
+        if self._timer is not None:
+            if not self._timer.cancelled and self._timer.at <= t_next:
+                return  # fires at or before the new prediction; re-arms itself
+            self._timer.cancel()
+        self._timer = self.env.call_at(max(t_next, self.env.now), self._on_timer)
+
+    def _on_timer(self, _timer: Timer) -> None:
+        self._timer = None
+        now = self.env.now
+        heap = self._completions
+        due: List[Flow] = []
+        while heap and heap[0][0] <= now:
+            _, _, epoch, flow = heapq.heappop(heap)
+            if flow in self._flows and epoch == flow._epoch:
+                due.append(flow)
+        freed: Dict[Link, None] = {}
+        tracer = self.env.tracer
+        for flow in due:
+            self._settle_flow(flow, now)
+            if flow.remaining <= _EPSILON_BYTES:
+                self.bytes_delivered += flow.remaining
+                flow.remaining = 0.0
+                del self._flows[flow]
+                for link in flow.links:
+                    del self._flows_on[link][flow]
+                    freed[link] = None
+                if tracer.enabled:
+                    tracer.flow_finish(
+                        now,
+                        flow.label,
+                        flow.nbytes,
+                        flow.started_at,
+                        [lk.name for lk in flow.links],
+                    )
+                flow.event.succeed(now)
+            else:
+                # Prediction landed a shade early (float slack): repush.
+                flow._epoch += 1
+                if flow.rate > 0.0:
+                    finish = flow.updated_at + flow.remaining / flow.rate
+                    heapq.heappush(heap, (finish, flow.seq, flow._epoch, flow))
+        if freed:
+            self._rerate(freed)
+        else:
+            self._arm_timer()

@@ -125,6 +125,15 @@ class IBNetwork:
             [self.mem(node_id)], nbytes, cpu_cap=pair_cap, label=label
         )
 
-    def dvfs_changed(self) -> None:
-        """Propagate a DVFS change into NIC capacities mid-flight."""
-        self.fabric.capacities_changed()
+    def dvfs_changed(self, node_id: Optional[int] = None) -> None:
+        """Propagate a DVFS change into NIC capacities mid-flight.
+
+        With ``node_id`` given, only that node's HCA links are marked
+        changed, so the fabric re-rates just the flows touching them.
+        """
+        if node_id is None:
+            self.fabric.capacities_changed()
+        else:
+            self.fabric.capacities_changed(
+                [self.nic_up(node_id), self.nic_dn(node_id)]
+            )

@@ -96,6 +96,13 @@ class NetworkSpec:
     #: Per-flow CPU pipeline feed cap at fmax/T0 (B/s).
     cpu_feed_bw: float = 8.0e9
 
+    # -- fabric kernel -------------------------------------------------------
+    #: Re-run water-filling only over the connected component of flows
+    #: affected by a change (exact — components share no links).  False
+    #: forces the historical whole-fabric recompute on every event; only
+    #: useful for benchmarking the kernel itself.
+    incremental_rerate: bool = True
+
     # -- blocking progression mode (§II-B) ----------------------------------
     #: How long a blocking-mode process spins before yielding the CPU (s).
     spin_window: float = 20e-6

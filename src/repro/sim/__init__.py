@@ -6,6 +6,10 @@ Public surface::
     env.process(gen)          # start a coroutine process
     yield env.timeout(1e-6)   # inside a process
     env.run(until=...)
+
+plus the instrumentation layer (:class:`Tracer` and friends) and the
+:class:`SimSession` context object that owns a whole simulation stack
+(env + cluster + fabric + power model + tracer).
 """
 
 from .engine import EmptySchedule, Environment, Infinity
@@ -19,8 +23,19 @@ from .events import (
     Process,
     SimulationError,
     Timeout,
+    Timer,
 )
 from .resources import Resource, Signal, Store
+from .trace import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+    TraceRecord,
+    default_tracer,
+    use_tracer,
+)
 
 __all__ = [
     "AllOf",
@@ -32,10 +47,33 @@ __all__ = [
     "Event",
     "Infinity",
     "Interrupt",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "NullTracer",
     "Process",
+    "RecordingTracer",
     "Resource",
+    "SessionConfigError",
     "Signal",
+    "SimSession",
     "SimulationError",
     "Store",
     "Timeout",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+    "default_tracer",
+    "use_tracer",
 ]
+
+_LAZY = {"SimSession", "SessionConfigError", "check_session_specs"}
+
+
+def __getattr__(name):
+    # SimSession pulls in cluster/network/power, which themselves import
+    # repro.sim — resolve it lazily to keep the core import-cycle free.
+    if name in _LAZY:
+        from . import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

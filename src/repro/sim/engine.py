@@ -20,7 +20,7 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from .events import (
     NORMAL,
@@ -30,7 +30,9 @@ from .events import (
     Process,
     SimulationError,
     Timeout,
+    Timer,
 )
+from .trace import NULL_TRACER, Tracer
 
 Infinity = float("inf")
 
@@ -51,13 +53,20 @@ class Environment:
     initial_time:
         Starting value of the simulation clock (seconds by convention
         throughout this package).
+    tracer:
+        Instrumentation sink for kernel events (process resume/suspend).
+        Defaults to the zero-overhead :data:`~repro.sim.trace.NULL_TRACER`.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, tracer: Optional[Tracer] = None):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self.tracer: Tracer = NULL_TRACER if tracer is None else tracer
+        #: Events popped off the queue so far — the kernel's work metric,
+        #: reported by the bench self-profile.
+        self.events_processed = 0
 
     # -- clock & introspection -------------------------------------------
     @property
@@ -80,43 +89,64 @@ class Environment:
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
+    def call_after(self, delay: float, callback: Callable[[Timer], None]) -> Timer:
+        """Schedule ``callback`` to run ``delay`` from now; returns a
+        cancellable :class:`~repro.sim.events.Timer` handle."""
+        return Timer(self, delay, callback)
+
+    def call_at(self, time: float, callback: Callable[[Timer], None]) -> Timer:
+        """Schedule ``callback`` at absolute ``time`` (must not be in the
+        past); returns a cancellable handle."""
+        if time < self._now:
+            raise ValueError(f"call_at({time}) lies in the past (now={self._now})")
+        return Timer(self, time - self._now, callback)
+
     def step(self) -> None:
         """Process the single next event; raises :class:`EmptySchedule` if none."""
         try:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        self.events_processed += 1
         event._run_callbacks()
 
     def run(self, until: Any = None) -> Any:
-        """Run until the queue drains, the clock passes ``until`` (number), or
-        the ``until`` event triggers (its value is returned)."""
-        stop: Optional[Event] = None
-        if until is not None:
-            if isinstance(until, Event):
-                stop = until
-            else:
-                at = float(until)
-                if at < self._now:
-                    raise ValueError(f"until={at} lies in the past (now={self._now})")
-                stop = Timeout(self, at - self._now)
+        """Run the simulation.
+
+        * ``until=None`` — drain the queue completely.
+        * ``until=<number>`` — process every event scheduled at or before the
+          horizon, then advance the clock *to* the horizon (even when the
+          queue drains early, so ``env.now == until`` afterwards).
+        * ``until=<Event>`` — run until that event triggers; its value is
+          returned.
+        """
+        if until is None:
+            try:
+                while True:
+                    self.step()
+            except EmptySchedule:
+                return None
+        if isinstance(until, Event):
+            stop = until
             if stop.callbacks is None:  # already processed
                 return stop._value
             stop.callbacks.append(_stop_simulation)
-        try:
-            while True:
-                self.step()
-        except EmptySchedule:
-            if stop is not None and not stop.triggered:
-                if isinstance(stop, Timeout):
-                    # Queue drained before the requested horizon: just advance
-                    # the clock to the horizon.
-                    self._now = self._now  # clock already at last event
-                    return None
-                raise SimulationError("run() ended before the awaited event fired")
-            return None
-        except StopSimulation as marker:
-            return marker.args[0]
+            try:
+                while True:
+                    self.step()
+            except EmptySchedule:
+                raise SimulationError(
+                    "run() ended before the awaited event fired"
+                ) from None
+            except StopSimulation as marker:
+                return marker.args[0]
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
 
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:

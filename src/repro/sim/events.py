@@ -151,6 +151,65 @@ class Timeout(Event):
         env.schedule(self, priority=NORMAL, delay=delay)
 
 
+class Timer(Event):
+    """A cancellable scheduled callback.
+
+    Unlike :class:`Timeout`, a Timer carries its own callback and can be
+    *cancelled* before it fires: the heap entry stays where it is (lazy
+    deletion — no O(n) queue surgery) but processing a cancelled timer is
+    a no-op.  This replaces generation-counter tricks where consumers had
+    to detect their own stale wakeups by hand.
+
+    Timers are scheduling primitives, not synchronisation points: processes
+    should yield :class:`Timeout`/:class:`Event`, not Timers (a cancelled
+    Timer never fires its waiters).
+    """
+
+    __slots__ = ("at", "_callback", "_cancelled")
+
+    def __init__(
+        self,
+        env: "Environment",
+        delay: float,
+        callback: Callable[["Timer"], None],
+    ):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        #: Absolute firing time (for introspection and staleness checks).
+        self.at = env.now + delay
+        self._callback: Optional[Callable[["Timer"], None]] = callback
+        self._cancelled = False
+        self._ok = True
+        self._state = _TRIGGERED
+        env.schedule(self, priority=NORMAL, delay=delay)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._state == _PROCESSED and not self._cancelled
+
+    def cancel(self) -> None:
+        """Deactivate the timer; safe to call repeatedly, or after firing."""
+        self._cancelled = True
+        self._callback = None  # release promptly; heap entry fires as a no-op
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = _PROCESSED
+        if self._cancelled:
+            return
+        callback, self._callback = self._callback, None
+        if callback is not None:
+            callback(self)
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+
 class Initialize(Event):
     """Internal event used to start a freshly created :class:`Process`."""
 
@@ -229,6 +288,9 @@ class Process(Event):
         env = self.env
         env._active_process = self
         self._target = None
+        tracer = env.tracer
+        if tracer.enabled:
+            tracer.process_resume(env._now, self.name)
         try:
             if event._ok:
                 next_target = self._generator.send(event._value)
@@ -259,6 +321,10 @@ class Process(Event):
             # Target not yet processed: park until it fires.
             next_target.callbacks.append(self._resume)
             self._target = next_target
+            if tracer.enabled:
+                tracer.process_suspend(
+                    env._now, self.name, type(next_target).__name__
+                )
         else:
             # Target already processed: resume immediately (still via the
             # queue, so ordering stays deterministic).

@@ -1,0 +1,136 @@
+"""`SimSession` — the one object that owns a simulation's substrate.
+
+Before this existed, every consumer (jobs, benchmarks, examples, the CLI)
+hand-threaded the same five constructors: Environment → Cluster →
+IBNetwork → PowerModel → EnergyAccountant.  A session builds and owns the
+whole stack from the three spec dataclasses, injects one
+:class:`~repro.sim.trace.Tracer` into every layer, and *validates the
+spec combination up front* — a mismatched cluster/network pair fails here
+with a message naming the conflict, not three layers down with a
+``KeyError``.
+
+Use::
+
+    from repro.sim import SimSession
+
+    session = SimSession(tracer=JsonlTracer("run.jsonl"))
+    job = MpiJob(n_ranks=64, session=session)
+
+or let :class:`~repro.mpi.job.MpiJob` build its own private session from
+specs (the pre-session signature still works unchanged).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from .engine import Environment
+from .trace import Tracer, default_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.specs import ClusterSpec
+    from ..cluster.topology import Cluster
+    from ..network.ibnet import IBNetwork
+    from ..network.params import NetworkSpec
+    from ..power.accounting import EnergyAccountant
+    from ..power.model import PowerModel, PowerModelParams
+
+
+class SessionConfigError(ValueError):
+    """The cluster/network/power specs contradict each other."""
+
+
+def check_session_specs(
+    cluster_spec: "ClusterSpec", network_spec: "NetworkSpec"
+) -> List[str]:
+    """Cross-spec consistency checks a session refuses to run with.
+
+    Returns human-readable problems (empty = consistent).  These are the
+    *structural* mismatches that would otherwise surface as deep
+    ``KeyError``/nonsense timings inside the fabric; softer physical
+    plausibility checks live in :mod:`repro.validate`.
+    """
+    import math
+
+    problems: List[str] = []
+    if cluster_spec.racks > 1:
+        if not math.isinf(network_spec.switch_oversubscription):
+            problems.append(
+                f"cluster has {cluster_spec.racks} racks but the network "
+                "models a single flat switch backplane "
+                f"(switch_oversubscription={network_spec.switch_oversubscription}); "
+                "a racked topology routes through per-rack uplinks instead — "
+                "drop `racks` or leave switch_oversubscription infinite"
+            )
+        if network_spec.rack_uplink_factor <= 0:
+            problems.append(
+                f"cluster has {cluster_spec.racks} racks but "
+                f"rack_uplink_factor={network_spec.rack_uplink_factor} gives "
+                "the leaf-to-spine uplinks no capacity"
+            )
+    if network_spec.mem_bw_node < network_spec.shm_bw:
+        problems.append(
+            f"node memory bandwidth ({network_spec.mem_bw_node:.3g} B/s) is "
+            f"below a single pair's copy bandwidth ({network_spec.shm_bw:.3g} "
+            "B/s); shared-memory phases would violate the link model"
+        )
+    return problems
+
+
+class SimSession:
+    """Owns env + cluster + network + power model + accountant + tracer.
+
+    Parameters mirror the spec dataclasses; every one is optional and
+    defaults to the paper's testbed.  ``tracer`` defaults to the ambient
+    tracer (see :func:`repro.sim.trace.use_tracer`), which is the null
+    tracer unless a CLI ``--trace`` scope is active.
+    """
+
+    def __init__(
+        self,
+        cluster_spec: Optional["ClusterSpec"] = None,
+        network_spec: Optional["NetworkSpec"] = None,
+        power_params: Optional["PowerModelParams"] = None,
+        tracer: Optional[Tracer] = None,
+        keep_segments: bool = True,
+        validate: bool = True,
+    ):
+        from ..cluster.specs import ClusterSpec
+        from ..cluster.topology import Cluster
+        from ..network.ibnet import IBNetwork
+        from ..network.params import NetworkSpec
+        from ..power.accounting import EnergyAccountant
+        from ..power.model import PowerModel
+
+        self.cluster_spec = cluster_spec or ClusterSpec.paper_testbed()
+        self.network_spec = network_spec or NetworkSpec()
+        if validate:
+            problems = check_session_specs(self.cluster_spec, self.network_spec)
+            if problems:
+                raise SessionConfigError(
+                    "inconsistent session specs:\n  - " + "\n  - ".join(problems)
+                )
+        self.tracer: Tracer = default_tracer() if tracer is None else tracer
+        self.env: Environment = Environment(tracer=self.tracer)
+        self.cluster: "Cluster" = Cluster(self.cluster_spec)
+        self.cluster.attach_tracer(self.tracer)
+        self.net: "IBNetwork" = IBNetwork(self.env, self.cluster, self.network_spec)
+        self.power_model: "PowerModel" = PowerModel(power_params)
+        self.accountant: "EnergyAccountant" = EnergyAccountant(
+            self.cluster, self.power_model, keep_segments=keep_segments
+        )
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (shorthand for ``session.env.now``)."""
+        return self.env.now
+
+    def close(self) -> None:
+        """Flush the tracer (no-op for in-memory/null tracers)."""
+        self.tracer.close()
+
+    def __enter__(self) -> "SimSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

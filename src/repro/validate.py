@@ -35,11 +35,17 @@ def validate_configuration(
     Dataclass ``__post_init__`` hooks already reject malformed values;
     this layer checks *cross-parameter* physics.
     """
+    from .sim.session import check_session_specs
+
     cluster = cluster or ClusterSpec()
     network = network or NetworkSpec()
     power = power or PowerModelParams()
     model = PowerModel(power)
     findings: List[Finding] = []
+
+    # -- structural cluster/network mismatches (SimSession refuses these) --
+    for problem in check_session_specs(cluster, network):
+        findings.append(Finding("error", problem))
 
     # -- cluster ----------------------------------------------------------
     cpu = cluster.node.cpu
@@ -73,13 +79,6 @@ def validate_configuration(
                 "phases would dominate, contradicting the Fig 2(b) premise",
             )
         )
-    if network.mem_bw_node < network.shm_bw:
-        findings.append(
-            Finding(
-                "error",
-                "node memory bandwidth below a single pair's copy bandwidth",
-            )
-        )
     if network.cpu_feed_bw < network.nic_bw:
         findings.append(
             Finding(
@@ -92,9 +91,6 @@ def validate_configuration(
         findings.append(
             Finding("warning", "eager threshold above 1MB is unrealistic")
         )
-    if cluster.racks > 1 and network.rack_uplink_factor <= 0:
-        findings.append(Finding("error", "racked cluster needs uplink capacity"))
-
     # -- power ---------------------------------------------------------------
     p_fmax = model.full_core_power(cpu.fmax)
     p_fmin = model.full_core_power(cpu.fmin)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps import (
-    AppSpec,
     CPMD_DATASETS,
     CollectiveCall,
     ComputeEvent,

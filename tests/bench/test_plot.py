@@ -25,7 +25,7 @@ def test_multiple_series_distinct_glyphs():
 def test_monotone_series_plots_monotone():
     """Higher values land on higher rows."""
     text = ascii_chart([1, 2, 3, 4], [[1, 2, 3, 4]], width=8, height=4)
-    rows = [l.split("|")[1] for l in text.splitlines() if "|" in l]
+    rows = [ln.split("|")[1] for ln in text.splitlines() if "|" in ln]
     first_col = next(i for i, ch in enumerate(rows[-1]) if ch == "*")
     last_col = next(i for i, ch in enumerate(rows[0]) if ch == "*")
     assert first_col < last_col  # min at bottom-left, max at top-right

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.collectives import CollectiveConfig, CollectiveEngine, PowerMode
+from repro.collectives import CollectiveConfig, CollectiveEngine
 from repro.mpi import MpiJob
 from repro.network import NetworkSpec
 
@@ -135,7 +135,7 @@ def test_reduce_non_leader_root():
     def program(ctx):
         yield from ctx.reduce(4096, root=5)
 
-    r = job.run(program)
+    job.run(program)
     assert job.engine.quiescent()
 
 
@@ -187,7 +187,7 @@ def test_successive_collectives_do_not_cross_match():
         yield from ctx.reduce(1 << 14)
         yield from ctx.barrier()
 
-    r = job.run(program)
+    job.run(program)
     assert job.engine.quiescent()
 
 
@@ -199,7 +199,7 @@ def test_collective_on_subcommunicator():
         if ctx.is_node_leader():
             yield from ctx.bcast(1 << 14, root=0, comm=ctx.leader_comm)
 
-    r = job.run(program)
+    job.run(program)
     assert job.engine.quiescent()
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import Activity, AffinityPolicy, ClusterSpec, ThrottleGranularity
+from repro.cluster import AffinityPolicy, ClusterSpec, ThrottleGranularity
 from repro.collectives import (
     CollectiveConfig,
     CollectiveEngine,
@@ -139,17 +139,12 @@ def test_bcast_overhead_matches_fig8a():
 
 def test_proposed_bcast_throttles_socket_b_fully():
     """During the network phase socket B reaches T7, socket A T4 (Fig 4)."""
-    seen = {}
     job = MpiJob(
         64, collectives=CollectiveEngine(CollectiveConfig(power_mode=PowerMode.PROPOSED))
     )
     core_b = job.affinity.core_of(4)  # socket B, node 0
     core_a = job.affinity.core_of(1)  # socket A non-leader
     leader = job.affinity.core_of(0)
-    states = []
-
-    orig = core_b.set_tstate
-
     def program(ctx):
         if ctx.rank == 0:
             # Sample states mid-network-phase from the leader's perspective.

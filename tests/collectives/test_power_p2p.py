@@ -34,7 +34,6 @@ def test_large_intra_node_exchange_saves_energy():
     base = run_pair(4 << 20, use_power=False)
     power = run_pair(4 << 20, use_power=True)
     # The two active cores burn less energy...
-    cores = [0, 2]  # ranks 0,1 sit on OS cores 0 and 2 (socket A)
     core_ids = [base.job.affinity.core_of(r).core_id for r in (0, 1)]
     base_e = sum(base.accountant.core_energy_j(c) for c in core_ids)
     power_e = sum(power.accountant.core_energy_j(c) for c in core_ids)

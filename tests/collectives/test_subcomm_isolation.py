@@ -3,8 +3,6 @@ sub-communicator's own counter, so their internal messages can never
 cross-match with user-level collectives issued directly on the same
 sub-communicator."""
 
-import pytest
-
 from repro.mpi import MpiJob
 from repro.network import NetworkSpec
 

@@ -11,7 +11,6 @@ from repro.collectives import (
     topo_scatter,
 )
 from repro.mpi import MpiJob
-from repro.network import NetworkSpec
 
 #: 4 racks x 4 nodes x 8 cores = 128 ranks.
 RACKED = ClusterSpec(nodes=16, racks=4)
@@ -68,10 +67,10 @@ def test_single_rack_layout_is_trivial():
 
 def test_cross_rack_path_traverses_uplinks():
     job = rack_job()
-    path = [l.name for l in job.net.inter_node_path(0, 5)]
+    path = [lk.name for lk in job.net.inter_node_path(0, 5)]
     assert path == ["nic_up:0", "rack_up:0", "rack_dn:1", "nic_dn:5"]
     # Same-rack stays on the leaf switch.
-    path2 = [l.name for l in job.net.inter_node_path(0, 3)]
+    path2 = [lk.name for lk in job.net.inter_node_path(0, 3)]
     assert path2 == ["nic_up:0", "nic_dn:3"]
 
 

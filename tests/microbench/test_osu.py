@@ -1,7 +1,5 @@
 """Tests for the simulated OSU microbenchmarks."""
 
-import pytest
-
 from repro.microbench import (
     osu_bibw,
     osu_bw,

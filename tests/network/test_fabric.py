@@ -24,25 +24,25 @@ def _flow(links, cap=math.inf):
 
 
 def test_maxmin_single_flow_gets_full_capacity():
-    l = Link("l", 10.0)
-    f = _flow([l])
-    rates = maxmin_rates([f], {l: 10.0})
+    lk = Link("l", 10.0)
+    f = _flow([lk])
+    rates = maxmin_rates([f], {lk: 10.0})
     assert rates[f] == pytest.approx(10.0)
 
 
 def test_maxmin_equal_split():
-    l = Link("l", 9.0)
-    flows = [_flow([l]) for _ in range(3)]
-    rates = maxmin_rates(flows, {l: 9.0})
+    lk = Link("l", 9.0)
+    flows = [_flow([lk]) for _ in range(3)]
+    rates = maxmin_rates(flows, {lk: 9.0})
     for f in flows:
         assert rates[f] == pytest.approx(3.0)
 
 
 def test_maxmin_cap_redistributes_surplus():
-    l = Link("l", 9.0)
-    capped = _flow([l], cap=1.0)
-    free1, free2 = _flow([l]), _flow([l])
-    rates = maxmin_rates([capped, free1, free2], {l: 9.0})
+    lk = Link("l", 9.0)
+    capped = _flow([lk], cap=1.0)
+    free1, free2 = _flow([lk]), _flow([lk])
+    rates = maxmin_rates([capped, free1, free2], {lk: 9.0})
     assert rates[capped] == pytest.approx(1.0)
     assert rates[free1] == pytest.approx(4.0)
     assert rates[free2] == pytest.approx(4.0)

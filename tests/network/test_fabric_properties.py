@@ -41,7 +41,7 @@ def allocation_problems(draw):
             )
         )
         flows.append(Flow(tuple(links[i] for i in path_ids), 1.0, cap, _Ev()))
-    capacities = {l: l.capacity for l in links}
+    capacities = {lk: lk.capacity for lk in links}
     return flows, capacities
 
 
@@ -144,3 +144,103 @@ def test_fabric_schedule_deterministic(seeds):
         return times
 
     assert run_once() == run_once()
+
+
+def _schedule_times(seeds, n_links=4, *, incremental=True, tracer=None):
+    """Run a fixed multi-link transfer schedule; return completion times."""
+    env = Environment(tracer=tracer)
+    fabric = Fabric(env, NetworkSpec(incremental_rerate=incremental))
+    links = [fabric.add_link(f"l{i}", 1e9) for i in range(n_links)]
+    times = []
+
+    def proc(env, i, seed):
+        yield env.timeout((seed % 53) * 1e-6)
+        path = [links[seed % n_links], links[(seed + 1 + i % 2) % n_links]]
+        t = yield fabric.transfer(
+            path, 1000 + (seed * 131) % 500_000,
+            cpu_cap=(0.4e9 if seed % 3 == 0 else math.inf),
+        )
+        times.append((i, t))
+
+    for i, seed in enumerate(seeds):
+        env.process(proc(env, i, seed))
+    env.run()
+    return times, fabric
+
+
+@given(
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=1, max_size=24
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_incremental_rerate_matches_full_recompute(seeds):
+    """The component-local incremental re-rater is exact: completion times
+    match whole-fabric recomputation on every schedule."""
+    inc, fab_inc = _schedule_times(seeds, incremental=True)
+    full, fab_full = _schedule_times(seeds, incremental=False)
+    assert len(inc) == len(full)
+    for (i, t_inc), (j, t_full) in zip(sorted(inc), sorted(full)):
+        assert i == j
+        assert t_inc == pytest.approx(t_full, rel=1e-9, abs=1e-15)
+    assert fab_inc.bytes_delivered == pytest.approx(fab_full.bytes_delivered)
+
+
+@given(
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=1, max_size=16
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_tracer_does_not_perturb_timeline(seeds):
+    """Observing a run (tracer enabled) must leave every completion time
+    byte-identical to the unobserved run — tracers observe, never steer."""
+    from repro.sim.trace import RecordingTracer
+
+    tracer = RecordingTracer()
+    observed, fab_obs = _schedule_times(seeds, tracer=tracer)
+    silent, fab_sil = _schedule_times(seeds, tracer=None)
+    assert observed == silent
+    assert fab_obs.bytes_delivered == fab_sil.bytes_delivered
+    # And the trace itself is complete: one start + one finish per flow.
+    assert len(tracer.of_type("flow.start")) == len(seeds)
+    assert len(tracer.of_type("flow.finish")) == len(seeds)
+
+
+@given(
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=2, max_size=16
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_no_flow_ever_exceeds_cap_or_capacity(seeds):
+    """Runtime invariant: at every re-rating instant, each in-flight flow's
+    rate respects its cpu cap and no link is oversubscribed."""
+    env = Environment()
+    fabric = Fabric(env, NetworkSpec())
+    links = [fabric.add_link(f"l{i}", 1e9) for i in range(3)]
+
+    def check(timer):
+        usage = {}
+        for flow in fabric.active_flows:
+            if flow.cap != math.inf:
+                assert flow.rate <= flow.cap * (1 + 1e-9)
+            for link in flow.links:
+                usage[link] = usage.get(link, 0.0) + flow.rate
+        for link, used in usage.items():
+            assert used <= link.capacity * (1 + 1e-9)
+        if fabric.active_flows or env.now < 30e-6:
+            env.call_after(37e-6, check)
+
+    def proc(env, seed):
+        yield env.timeout((seed % 29) * 1e-6)
+        yield fabric.transfer(
+            [links[seed % 3]], 1000 + (seed * 131) % 300_000,
+            cpu_cap=(0.3e9 if seed % 2 else math.inf),
+        )
+
+    for seed in seeds:
+        env.process(proc(env, seed))
+    env.call_after(1e-6, check)
+    env.run()
+    assert not fabric.active_flows

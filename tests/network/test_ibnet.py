@@ -27,7 +27,7 @@ def test_links_built_per_node(setup):
 def test_inter_node_path_uses_both_nics(setup):
     env, cluster, net = setup
     path = net.inter_node_path(0, 3)
-    assert [l.name for l in path] == ["nic_up:0", "nic_dn:3"]
+    assert [lk.name for lk in path] == ["nic_up:0", "nic_dn:3"]
 
 
 def test_switch_link_when_oversubscribed():
@@ -35,7 +35,7 @@ def test_switch_link_when_oversubscribed():
     cluster = Cluster(ClusterSpec.paper_testbed())
     net = IBNetwork(env, cluster, NetworkSpec(switch_oversubscription=4.0))
     path = net.inter_node_path(0, 1)
-    assert [l.name for l in path] == ["nic_up:0", "switch", "nic_dn:1"]
+    assert [lk.name for lk in path] == ["nic_up:0", "switch", "nic_dn:1"]
     assert net.fabric.link("switch").capacity == pytest.approx(4.0 * 3.0e9)
 
 

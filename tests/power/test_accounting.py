@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import Activity, Cluster, ClusterSpec
-from repro.power import EnergyAccountant, PowerMeter, PowerModel
+from repro.power import EnergyAccountant, PowerMeter
 
 
 @pytest.fixture
@@ -38,7 +38,6 @@ def test_energy_polling_fmax_vs_fmin(cluster):
     cluster.set_all(0.0, activity=Activity.POLLING)
     cluster.set_all(5.0, frequency_ghz=1.6)
     acct.finalize(10.0)
-    segs_by_time = {}
     # First 5 s at fmax must cost more than the last 5 s at fmin.
     first = sum(s.energy_j for s in acct.segments if s.end <= 5.0)
     second = sum(s.energy_j for s in acct.segments if s.start >= 5.0)

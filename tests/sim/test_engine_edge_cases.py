@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    AllOf,
-    Environment,
-    Event,
-    Interrupt,
-    Process,
-    SimulationError,
-    Timeout,
-)
+from repro.sim import Environment, Interrupt, Process, SimulationError
 
 
 def test_interrupt_while_waiting_on_condition():
@@ -189,6 +181,9 @@ def test_massive_fanout_completes():
 
 
 def test_run_until_horizon_with_drained_queue():
+    """Regression: run(until=T) must leave the clock *at* T even when the
+    event queue drains long before the horizon (it used to stop at the
+    last event's timestamp)."""
     env = Environment()
 
     def proc(env):
@@ -196,7 +191,56 @@ def test_run_until_horizon_with_drained_queue():
 
     env.process(proc(env))
     env.run(until=100.0)  # queue drains long before the horizon
-    assert env.now <= 100.0
+    assert env.now == 100.0
+
+
+def test_run_until_horizon_on_empty_queue_advances_clock():
+    env = Environment()
+    env.run(until=42.0)
+    assert env.now == 42.0
+    env.run(until=42.0)  # idempotent at the same horizon
+    assert env.now == 42.0
+
+
+def test_run_until_past_horizon_rejected():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10.0)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 10.0
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_run_until_horizon_is_inclusive():
+    """Events scheduled exactly at the horizon are processed."""
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        yield env.timeout(7.0)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=7.0)
+    assert fired == [7.0]
+    assert env.now == 7.0
+
+
+def test_events_processed_counter():
+    env = Environment()
+    assert env.events_processed == 0
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    assert env.events_processed > 0
 
 
 def test_event_repr_and_states():

@@ -1,0 +1,132 @@
+"""Tests for the Tracer hook bus (repro.sim.trace)."""
+
+import io
+import json
+
+from repro.sim import Environment, NullTracer, RecordingTracer
+from repro.sim.trace import (
+    NULL_TRACER,
+    JsonlTracer,
+    TraceRecord,
+    default_tracer,
+    use_tracer,
+)
+
+
+def test_null_tracer_is_disabled():
+    assert NullTracer().enabled is False
+    assert NULL_TRACER.enabled is False
+    NULL_TRACER.close()  # no-op, must not raise
+
+
+def test_environment_defaults_to_null_tracer():
+    env = Environment()
+    assert env.tracer is NULL_TRACER
+
+
+def test_recording_tracer_captures_process_events():
+    tracer = RecordingTracer()
+    env = Environment(tracer=tracer)
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(2.0)
+
+    env.process(proc(env))
+    env.run()
+    resumes = tracer.of_type("process.resume")
+    suspends = tracer.of_type("process.suspend")
+    assert len(resumes) >= 2  # one per timeout firing
+    assert len(suspends) >= 2  # one per park
+    assert all(r.data["process"] for r in resumes)
+    assert suspends[0].data["target"] == "Timeout"
+    # Timestamps are on the simulation clock, not wall-clock.
+    assert resumes[-1].t == 3.0
+
+
+def test_trace_record_json_round_trip():
+    rec = TraceRecord(1.5, "mark", {"name": "x", "extra": 3})
+    parsed = json.loads(rec.to_json())
+    assert parsed == {"t": 1.5, "type": "mark", "name": "x", "extra": 3}
+
+
+def test_typed_helpers_build_schema_records():
+    tracer = RecordingTracer()
+    tracer.core_activity(1.0, 3, 0, "idle", "compute")
+    tracer.power_state(2.0, 3, 0, "frequency", 2.4, 1.6)
+    tracer.power_state(3.0, 3, 0, "tstate", 0, 7)
+    tracer.flow_start(4.0, "f0", 1e6, ["a", "b"])
+    tracer.flow_finish(5.0, "f0", 1e6, 4.0, ["a", "b"])
+    tracer.mark(6.0, "checkpoint", phase=2)
+    types = [r.type for r in tracer.records]
+    assert types == [
+        "core.activity",
+        "core.frequency",
+        "core.tstate",
+        "flow.start",
+        "flow.finish",
+        "mark",
+    ]
+    assert tracer.of_type("flow.finish")[0].data["start"] == 4.0
+    assert len(tracer) == 6
+
+
+def test_jsonl_tracer_writes_one_record_per_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlTracer(str(path)) as tracer:
+        tracer.mark(0.0, "a")
+        tracer.mark(1.0, "b", detail="x")
+    assert tracer.records_written == 2
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[1]) == {
+        "t": 1.0, "type": "mark", "name": "b", "detail": "x",
+    }
+
+
+def test_jsonl_tracer_borrowed_file_left_open():
+    buf = io.StringIO()
+    tracer = JsonlTracer(buf)
+    tracer.mark(0.0, "a")
+    tracer.close()
+    assert not buf.closed  # borrowed, not owned
+    assert json.loads(buf.getvalue()) == {"t": 0.0, "type": "mark", "name": "a"}
+
+
+def test_use_tracer_scopes_the_ambient_default():
+    assert default_tracer() is NULL_TRACER
+    tracer = RecordingTracer()
+    with use_tracer(tracer) as active:
+        assert active is tracer
+        assert default_tracer() is tracer
+        with use_tracer(None):  # None re-scopes to the null tracer
+            assert default_tracer() is NULL_TRACER
+        assert default_tracer() is tracer
+    assert default_tracer() is NULL_TRACER
+
+
+def test_use_tracer_restores_on_exception():
+    tracer = RecordingTracer()
+    try:
+        with use_tracer(tracer):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert default_tracer() is NULL_TRACER
+
+
+def test_core_transitions_emit_power_state_events():
+    """End-to-end: a session-built cluster reports DVFS/T-state/activity
+    transitions through the injected tracer."""
+    from repro.sim import SimSession
+
+    tracer = RecordingTracer()
+    session = SimSession(tracer=tracer)
+    core = session.cluster.cores[0]
+    core.set_frequency(1.6, now=0.0)
+    core.set_tstate(7, now=0.0)
+    freq = tracer.of_type("core.frequency")
+    tst = tracer.of_type("core.tstate")
+    assert freq and freq[0].data["new"] == 1.6
+    assert tst and tst[0].data["new"] == 7
+    assert freq[0].data["core"] == core.core_id

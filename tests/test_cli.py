@@ -74,5 +74,35 @@ def test_unknown_command_rejected():
 
 
 def test_unknown_experiment_rejected():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["experiment", "fig99"])
+    code, text = run_cli("experiment", "fig99")
+    assert code == 2
+    assert "unknown experiment" in text
+
+
+def test_experiment_name_zero_padding_accepted():
+    from repro.cli import _canonical_experiment
+
+    assert _canonical_experiment("fig07a") == "fig7a"
+    assert _canonical_experiment("FIG7A") == "fig7a"
+    assert _canonical_experiment("table01") == "table1"
+    assert _canonical_experiment("fig99") is None
+
+
+def test_experiment_trace_flag_writes_jsonl(tmp_path):
+    import json
+
+    trace = tmp_path / "t.jsonl"
+    code, text = run_cli("experiment", "fig2c", "--trace", str(trace))
+    assert code == 0
+    assert "trace records" in text
+    lines = trace.read_text().splitlines()
+    assert lines
+    first = json.loads(lines[0])
+    assert "t" in first and "type" in first
+
+
+def test_experiment_profile_flag_reports(capsys):
+    code, text = run_cli("experiment", "fig2c", "--profile")
+    assert code == 0
+    assert "self-profile" in text
+    assert "kernel events" in text

@@ -1,7 +1,5 @@
 """Tests for the configuration validator."""
 
-import pytest
-
 from repro.cluster import ClusterSpec, CpuSpec, NodeSpec
 from repro.network import NetworkSpec
 from repro.power import PowerModelParams
