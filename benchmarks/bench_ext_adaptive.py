@@ -1,14 +1,24 @@
 """Extension: per-call ADAPTIVE power policy vs the paper's static
-schemes on a mixed-size alltoall workload."""
+schemes on a mixed-size alltoall workload.
+
+Set ``REPRO_BENCH_QUICK=1`` for the reduced sweep used by the CI smoke
+job (archived under a ``_quick`` name, so no baseline comparison).
+"""
+
+import os
 
 from repro.bench import extension_adaptive_policy
 
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
 
 def test_extension_adaptive_policy(report):
+    kwargs = {"sizes": (256 << 10, 1 << 20)} if QUICK else {}
     headers, rows = report(
-        "ext_adaptive_policy",
+        "ext_adaptive_policy" + ("_quick" if QUICK else ""),
         "Extension - adaptive per-call policy (mixed-size alltoalls)",
         extension_adaptive_policy,
+        **kwargs,
     )
     by_scheme = {r[0]: r for r in rows}
     # Adaptive lands at (or below) the best static energy.

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Compare the kernel-scaling speedup of a fresh run against a baseline.
+
+Usage::
+
+    python benchmarks/check_kernel_scaling.py BASELINE.txt FRESH.txt [--max-regression 0.20]
+
+Both files are ``results/kernel_scaling.txt`` reports; the number under
+test is the trailing ``speedup (same horizon): N.Nx`` note.  Exits
+non-zero when the fresh speedup regresses by more than the allowed
+fraction — the CI bench-smoke job runs this to catch perf regressions in
+the incremental fabric re-rating path.
+"""
+
+import argparse
+import re
+import sys
+
+SPEEDUP_RE = re.compile(r"speedup \(same horizon\):\s*([0-9.]+)x")
+
+
+def read_speedup(path: str) -> float:
+    with open(path) as fh:
+        text = fh.read()
+    match = SPEEDUP_RE.search(text)
+    if match is None:
+        sys.exit(f"{path}: no 'speedup (same horizon)' note found")
+    return float(match.group(1))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional drop vs baseline (default 0.20)")
+    args = parser.parse_args(argv)
+
+    baseline = read_speedup(args.baseline)
+    fresh = read_speedup(args.fresh)
+    floor = baseline * (1.0 - args.max_regression)
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"kernel-scaling speedup: baseline {baseline:.1f}x, fresh {fresh:.1f}x, "
+        f"floor {floor:.1f}x -> {verdict}"
+    )
+    return 0 if fresh >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

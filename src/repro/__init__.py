@@ -34,6 +34,13 @@ from .collectives import CollectiveConfig, CollectiveEngine, PowerMode
 from .mpi import JobResult, MpiJob, ProgressMode, RankContext, run_collective_once
 from .network import NetworkSpec
 from .power import EnergyAccountant, PowerMeter, PowerModel, PowerModelParams
+from .runtime import (
+    Governor,
+    GovernorConfig,
+    GovernorPolicy,
+    GovernorReport,
+    use_governor,
+)
 from .sim import (
     JsonlTracer,
     NullTracer,
@@ -54,6 +61,10 @@ __all__ = [
     "CollectiveEngine",
     "CpuSpec",
     "EnergyAccountant",
+    "Governor",
+    "GovernorConfig",
+    "GovernorPolicy",
+    "GovernorReport",
     "JobResult",
     "JsonlTracer",
     "MpiJob",
@@ -72,6 +83,7 @@ __all__ = [
     "ThrottleGranularity",
     "Tracer",
     "run_collective_once",
+    "use_governor",
     "use_tracer",
     "__version__",
 ]

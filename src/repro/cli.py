@@ -61,6 +61,9 @@ EXPERIMENTS = {
     "ablation-scaling": bench.ablation_cluster_scaling,
     "ext-racks": bench.extension_rack_topology,
     "ext-adaptive": bench.extension_adaptive_policy,
+    "ext-governor-alltoall": bench.extension_governor_alltoall,
+    "ext-governor-mixed": bench.extension_governor_mixed,
+    "ext-governor-apps": bench.extension_governor_apps,
 }
 
 
@@ -102,17 +105,45 @@ def _add_instrumentation_flags(subparser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="print a wall-clock self-profile of the simulator afterwards",
     )
+    subparser.add_argument(
+        "--governor", choices=["none", "countdown", "predictive"], default=None,
+        help="install the online power governor (repro.runtime) on every "
+             "simulation this command runs",
+    )
+    subparser.add_argument(
+        "--governor-theta", type=float, default=None, metavar="US",
+        help="countdown threshold theta in microseconds "
+             "(default 200; needs --governor)",
+    )
+
+
+def _governor_config(args):
+    """Build a GovernorConfig from the CLI flags (None = not requested)."""
+    policy_name = getattr(args, "governor", None)
+    theta_us = getattr(args, "governor_theta", None)
+    if policy_name is None:
+        if theta_us is not None:
+            raise SystemExit("--governor-theta requires --governor")
+        return None
+    from .runtime import GovernorConfig, GovernorPolicy
+
+    kwargs = {"policy": GovernorPolicy(policy_name)}
+    if theta_us is not None:
+        kwargs["theta_s"] = theta_us * 1e-6
+    return GovernorConfig(**kwargs)
 
 
 def _instrumented(args, out, fn: Callable[[], int]) -> int:
-    """Run ``fn`` under the --trace / --profile scopes when requested."""
+    """Run ``fn`` under the --trace / --profile / --governor scopes."""
     from .bench.profile import SelfProfile
     from .sim.trace import JsonlTracer, use_tracer
 
     trace_path = getattr(args, "trace", None)
     profile = SelfProfile() if getattr(args, "profile", False) else None
+    governor_config = _governor_config(args)
     with contextlib.ExitStack() as stack:
         tracer = None
+        governor_scope = None
         if trace_path is not None:
             try:
                 tracer = stack.enter_context(JsonlTracer(trace_path))
@@ -120,6 +151,10 @@ def _instrumented(args, out, fn: Callable[[], int]) -> int:
                 print(f"cannot open trace file {trace_path!r}: {exc}", file=out)
                 return 2
             stack.enter_context(use_tracer(tracer))
+        if governor_config is not None:
+            from .runtime import use_governor
+
+            governor_scope = stack.enter_context(use_governor(governor_config))
         if profile is not None:
             stack.enter_context(profile)
         rc = fn()
@@ -128,6 +163,16 @@ def _instrumented(args, out, fn: Callable[[], int]) -> int:
             f"wrote {tracer.records_written} trace records to {trace_path}",
             file=out,
         )
+    if governor_scope is not None and governor_scope.reports:
+        from .runtime import merge_reports
+
+        merged = merge_reports(governor_scope.reports)
+        print(merged.one_line(), file=out)
+        if profile is not None:
+            from .bench import save_governor_json
+
+            path = save_governor_json(governor_scope.reports)
+            print(f"wrote governor telemetry to {path}", file=out)
     if profile is not None:
         print(profile.report(), file=out)
     return rc

@@ -89,19 +89,50 @@ class RankContext:
         Polling: spin (core stays busy).  Blocking: spin for the spin
         window, then sleep (core → BLOCKED) and pay interrupt + re-schedule
         latency on wake-up.
+
+        When a governor is installed this is its sensing/actuation point:
+        wait begin arms the countdown, wait end measures the slack and, if
+        the core was dropped mid-wait, pays the restore transition before
+        the program continues (mirroring how the static schemes charge
+        Odvfs/Othrottle).
         """
+        governor = self.job.governor
+        if governor is not None:
+            governor.wait_begin(self)
         if self.job.progress is ProgressMode.POLLING:
             value = yield event
+        else:
+            spec = self.spec
+            spin = self.env.timeout(spec.spin_window)
+            yield self.env.any_of([event, spin])
+            if event.triggered:
+                value = event.value
+            else:
+                self.core.set_activity(Activity.BLOCKED, self.env.now)
+                value = yield event
+                self.core.set_activity(Activity.POLLING, self.env.now)
+                yield self.env.timeout(
+                    spec.interrupt_latency + spec.resched_latency
+                )
+        if governor is not None:
+            penalty = governor.wait_end(self)
+            if penalty > 0.0:
+                yield self.env.timeout(penalty)
+                governor.wait_restored(self)
+        return value
+
+    def _governed(self, op: str, nbytes: int, inner):
+        """Run ``inner`` (an operation generator) between governor
+        entry/exit notifications; transparent when no governor is
+        installed.  The governor tracks call nesting itself, so the
+        p2p issued *inside* a wrapped collective stays subordinate."""
+        governor = self.job.governor
+        if governor is None:
+            value = yield from inner
             return value
-        spec = self.spec
-        spin = self.env.timeout(spec.spin_window)
-        yield self.env.any_of([event, spin])
-        if event.triggered:
-            return event.value
-        self.core.set_activity(Activity.BLOCKED, self.env.now)
-        value = yield event
-        self.core.set_activity(Activity.POLLING, self.env.now)
-        yield self.env.timeout(spec.interrupt_latency + spec.resched_latency)
+        yield from governor.call_begin(self, op, nbytes)
+        value = yield from inner
+        yield from governor.call_end(self, op, nbytes)
         return value
 
     # -- point-to-point ---------------------------------------------------------
@@ -133,15 +164,23 @@ class RankContext:
     def send(self, dst, nbytes, tag=0, comm=None):
         """Blocking send: returns when the message engine releases the sender
         (immediately for eager, at transfer completion for rendezvous)."""
-        req = yield from self.isend(dst, nbytes, tag, comm)
-        value = yield from self._wait(req)
-        return value
+
+        def inner():
+            req = yield from self.isend(dst, nbytes, tag, comm)
+            value = yield from self._wait(req)
+            return value
+
+        return (yield from self._governed("send", nbytes, inner()))
 
     def recv(self, src=ANY_SOURCE, tag=ANY_TAG, comm=None):
         """Blocking receive; returns (src_world, tag, nbytes)."""
-        req = yield from self.irecv(src, tag, comm)
-        value = yield from self._wait(req)
-        return value
+
+        def inner():
+            req = yield from self.irecv(src, tag, comm)
+            value = yield from self._wait(req)
+            return value
+
+        return (yield from self._governed("recv", 0, inner()))
 
     def waitall(self, requests):
         """Wait for every request in ``requests``; returns their values."""
@@ -165,10 +204,14 @@ class RankContext:
         comm = comm or self.world
         src = dst if src is None else src
         recv_tag = tag if recv_tag is None else recv_tag
-        sreq = yield from self.isend(dst, nbytes, tag, comm)
-        rreq = yield from self.irecv(src, recv_tag, comm)
-        yield from self._wait(self.env.all_of([sreq, rreq]))
-        return rreq.value
+
+        def inner():
+            sreq = yield from self.isend(dst, nbytes, tag, comm)
+            rreq = yield from self.irecv(src, recv_tag, comm)
+            yield from self._wait(self.env.all_of([sreq, rreq]))
+            return rreq.value
+
+        return (yield from self._governed("sendrecv", nbytes, inner()))
 
     # -- computation ---------------------------------------------------------------
     def compute(self, seconds_at_peak: float):
@@ -247,38 +290,71 @@ class RankContext:
     # -- collectives (dispatched through the registry) ---------------------------------
     def alltoall(self, nbytes: int, comm: Optional[Communicator] = None):
         """MPI_Alltoall with per-peer message size ``nbytes``."""
-        yield from self.job.collectives.alltoall(self, nbytes, comm or self.world)
+        yield from self._governed(
+            "alltoall", nbytes,
+            self.job.collectives.alltoall(self, nbytes, comm or self.world),
+        )
 
     def alltoallv(self, send_counts, comm: Optional[Communicator] = None):
         """MPI_Alltoallv: ``send_counts[d]`` bytes to each peer d."""
-        yield from self.job.collectives.alltoallv(self, send_counts, comm or self.world)
+        peak = max(send_counts) if send_counts else 0
+        yield from self._governed(
+            "alltoallv", peak,
+            self.job.collectives.alltoallv(self, send_counts, comm or self.world),
+        )
 
     def bcast(self, nbytes: int, root: int = 0, comm: Optional[Communicator] = None):
-        yield from self.job.collectives.bcast(self, nbytes, root, comm or self.world)
+        yield from self._governed(
+            "bcast", nbytes,
+            self.job.collectives.bcast(self, nbytes, root, comm or self.world),
+        )
 
     def reduce(self, nbytes: int, root: int = 0, comm: Optional[Communicator] = None):
-        yield from self.job.collectives.reduce(self, nbytes, root, comm or self.world)
+        yield from self._governed(
+            "reduce", nbytes,
+            self.job.collectives.reduce(self, nbytes, root, comm or self.world),
+        )
 
     def allreduce(self, nbytes: int, comm: Optional[Communicator] = None):
-        yield from self.job.collectives.allreduce(self, nbytes, comm or self.world)
+        yield from self._governed(
+            "allreduce", nbytes,
+            self.job.collectives.allreduce(self, nbytes, comm or self.world),
+        )
 
     def allgather(self, nbytes: int, comm: Optional[Communicator] = None):
-        yield from self.job.collectives.allgather(self, nbytes, comm or self.world)
+        yield from self._governed(
+            "allgather", nbytes,
+            self.job.collectives.allgather(self, nbytes, comm or self.world),
+        )
 
     def scatter(self, nbytes: int, root: int = 0, comm: Optional[Communicator] = None):
-        yield from self.job.collectives.scatter(self, nbytes, root, comm or self.world)
+        yield from self._governed(
+            "scatter", nbytes,
+            self.job.collectives.scatter(self, nbytes, root, comm or self.world),
+        )
 
     def gather(self, nbytes: int, root: int = 0, comm: Optional[Communicator] = None):
-        yield from self.job.collectives.gather(self, nbytes, root, comm or self.world)
+        yield from self._governed(
+            "gather", nbytes,
+            self.job.collectives.gather(self, nbytes, root, comm or self.world),
+        )
 
     def reduce_scatter(self, nbytes: int, comm: Optional[Communicator] = None):
         """MPI_Reduce_scatter_block: each rank ends with an ``nbytes``
         block of the reduction."""
-        yield from self.job.collectives.reduce_scatter(self, nbytes, comm or self.world)
+        yield from self._governed(
+            "reduce_scatter", nbytes,
+            self.job.collectives.reduce_scatter(self, nbytes, comm or self.world),
+        )
 
     def scan(self, nbytes: int, comm: Optional[Communicator] = None):
         """MPI_Scan (inclusive prefix reduction)."""
-        yield from self.job.collectives.scan(self, nbytes, comm or self.world)
+        yield from self._governed(
+            "scan", nbytes,
+            self.job.collectives.scan(self, nbytes, comm or self.world),
+        )
 
     def barrier(self, comm: Optional[Communicator] = None):
-        yield from self.job.collectives.barrier(self, comm or self.world)
+        yield from self._governed(
+            "barrier", 0, self.job.collectives.barrier(self, comm or self.world)
+        )

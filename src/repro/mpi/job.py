@@ -103,6 +103,7 @@ class MpiJob:
         collectives: Optional["CollectiveEngine"] = None,  # noqa: F821
         keep_segments: bool = True,
         session: Optional[SimSession] = None,
+        governor: Optional["Governor"] = None,  # noqa: F821
     ):
         from ..collectives.registry import CollectiveEngine  # local: avoid cycle
 
@@ -113,8 +114,16 @@ class MpiJob:
                 network_spec=network_spec,
                 power_params=power_params,
                 keep_segments=keep_segments,
+                governor=governor,
+            )
+        elif governor is not None:
+            raise ValueError(
+                "pass the governor to the SimSession (the session owns it), "
+                "not to a job adopting an existing session"
             )
         self.session = session
+        #: Optional online power governor (None = zero-overhead path).
+        self.governor = session.governor
         self.env = session.env
         self.cluster = session.cluster
         self.affinity = AffinityMap(self.cluster, n_ranks, policy=affinity)
@@ -126,7 +135,9 @@ class MpiJob:
                 self.net.progress_factor[node_id] = factor
         self.power_model = session.power_model
         self.accountant = session.accountant
-        self.engine = MessageEngine(self.env, self.net, self.affinity, progress)
+        self.engine = MessageEngine(
+            self.env, self.net, self.affinity, progress, governor=self.governor
+        )
         self._comm_factory = CommunicatorFactory()
         self.layout = CommLayout.build(self._comm_factory, self.affinity)
         self.collectives = collectives or CollectiveEngine()
@@ -207,6 +218,8 @@ class MpiJob:
                 "job finished with unmatched messages (deadlock or missing recv)"
             )
         end = max(finish_times) if finish_times else self.env.now
+        if self.governor is not None:
+            self.governor.finish_run()
         self.accountant.finalize(end)
         self.stats.wall_time_s = time.perf_counter() - wall_start
         self.stats.events_processed = self.env.events_processed - events_before

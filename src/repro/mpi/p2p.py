@@ -73,12 +73,18 @@ class MessageEngine:
         net: IBNetwork,
         affinity: AffinityMap,
         progress: ProgressMode = ProgressMode.POLLING,
+        governor=None,
     ):
         self.env = env
         self.net = net
         self.spec = net.spec
         self.affinity = affinity
         self.progress = progress
+        #: Optional online power governor (repro.runtime): notified right
+        #: before a transfer samples its endpoints' CPU feed rates, so a
+        #: countdown-dropped endpoint can be woken (RDMA needs its feed
+        #: path) instead of crippling the flow for its whole lifetime.
+        self.governor = governor
         # Keyed by (comm_id, dst_world_rank).
         self._posted_recvs: Dict[Tuple[int, int], List[_Recv]] = {}
         self._unexpected: Dict[Tuple[int, int], List[_Send]] = {}
@@ -192,7 +198,19 @@ class MessageEngine:
             cap = self.spec.cpu_feed_bw * pair_speed
         return latency, links, cap
 
+    def _wake_endpoints(self, send: _Send):
+        """Give the governor a chance to restore dropped endpoint cores
+        before ``_path_params`` samples their feed rates; yields the
+        transition time the transfer absorbs (usually none)."""
+        delay = self.governor.transfer_starting(
+            self.affinity.core_of(send.src), self.affinity.core_of(send.dst)
+        )
+        if delay > 0.0:
+            yield self.env.timeout(delay)
+
     def _deliver_eager(self, send: _Send):
+        if self.governor is not None:
+            yield from self._wake_endpoints(send)
         latency, links, cap = self._path_params(send)
         yield self.env.timeout(latency)
         if send.nbytes > 0:
@@ -207,6 +225,8 @@ class MessageEngine:
             self._unexpected.setdefault(key, []).append(send)
 
     def _rendezvous(self, send: _Send, recv: _Recv):
+        if self.governor is not None:
+            yield from self._wake_endpoints(send)
         latency, links, cap = self._path_params(send)
         # RTS/CTS handshake round-trip before the bulk transfer.
         yield self.env.timeout(latency * self.spec.rndv_rtt_factor)

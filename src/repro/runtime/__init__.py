@@ -1,0 +1,55 @@
+"""repro.runtime — the online slack-driven power-governor runtime.
+
+The paper's power-aware schemes (§V) bake transitions into each
+collective's schedule.  This subsystem is the complementary *control
+plane*: a per-core policy engine that observes MPI slack online (through
+the same notification sites the tracer uses) and drives DVFS/T-state
+actuation itself, in the style of the COUNTDOWN runtime
+(arXiv:1806.07258).
+
+Layers
+------
+:mod:`~repro.runtime.slack`
+    The sensor: EWMA + histogram slack estimates per core and a
+    per-(collective, message-size) call-duration history.
+:mod:`~repro.runtime.governor`
+    The policy FSMs (``none`` / ``countdown`` / ``predictive``) and the
+    ambient :func:`use_governor` scope the CLI installs.
+:mod:`~repro.runtime.telemetry`
+    The per-run :class:`GovernorReport` exported through
+    :mod:`repro.bench.export`.
+
+Use::
+
+    from repro.runtime import Governor, GovernorConfig, GovernorPolicy
+
+    gov = Governor(GovernorConfig(policy=GovernorPolicy.COUNTDOWN))
+    job = MpiJob(64, governor=gov)
+    result = job.run(program)
+    print(gov.finish_run().one_line())
+"""
+
+from .governor import (
+    Governor,
+    GovernorConfig,
+    GovernorPolicy,
+    GovernorScope,
+    ambient_governor_scope,
+    use_governor,
+)
+from .slack import EwmaEstimator, Log2Histogram, SlackMonitor
+from .telemetry import GovernorReport, merge_reports
+
+__all__ = [
+    "EwmaEstimator",
+    "Governor",
+    "GovernorConfig",
+    "GovernorPolicy",
+    "GovernorReport",
+    "GovernorScope",
+    "Log2Histogram",
+    "SlackMonitor",
+    "ambient_governor_scope",
+    "merge_reports",
+    "use_governor",
+]

@@ -1,0 +1,163 @@
+"""Online slack estimation for the power governor.
+
+The :class:`SlackMonitor` is the governor's sensor layer: it is fed by the
+MPI-side notifications (collective/p2p entry and exit, wait begin/end —
+the same sites the tracer observes) and maintains
+
+* a per-core EWMA of wait ("slack") durations,
+* a per-core log2 histogram of wait durations (the distribution matters
+  for choosing the countdown threshold θ — a fat right tail means long
+  throttleable waits), and
+* a per-(operation, log2-size-bucket) EWMA of *call* durations, which the
+  ``predictive`` policy uses to decide whether a collective is long
+  enough to amortise its power transitions before the call even starts.
+
+The monitor is pure bookkeeping: it never touches the simulation clock or
+core state, so an observe-only governor (policy ``none``) perturbs
+nothing.  When no governor is installed at all, none of this code runs
+(the MPI layer guards every notification with one ``is None`` check).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["EwmaEstimator", "Log2Histogram", "SlackMonitor"]
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average with a sample counter."""
+
+    __slots__ = ("alpha", "value", "count")
+
+    def __init__(self, alpha: float = 0.25):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        #: Current estimate (None until the first sample).
+        self.value: Optional[float] = None
+        self.count = 0
+
+    def update(self, sample: float) -> float:
+        """Fold in ``sample``; returns the new estimate."""
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            self.value += self.alpha * (sample - self.value)
+        self.count += 1
+        return self.value
+
+
+class Log2Histogram:
+    """Histogram over power-of-two microsecond buckets.
+
+    Bucket ``k`` counts durations in ``[2^k, 2^(k+1))`` µs; bucket ``-1``
+    collects sub-microsecond samples.  Sparse (a dict), since a run
+    typically populates only a handful of decades.
+    """
+
+    __slots__ = ("bins", "total_s", "count")
+
+    def __init__(self) -> None:
+        self.bins: Dict[int, int] = {}
+        self.total_s = 0.0
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        us = seconds * 1e6
+        bucket = int(us).bit_length() - 1 if us >= 1.0 else -1
+        self.bins[bucket] = self.bins.get(bucket, 0) + 1
+        self.total_s += seconds
+        self.count += 1
+
+    def summary(self) -> Dict[str, int]:
+        """Bucket counts keyed by a human-readable lower bound ("<1us",
+        "1us", "2us", ... "1024us", ...)."""
+        out: Dict[str, int] = {}
+        for bucket in sorted(self.bins):
+            key = "<1us" if bucket < 0 else f"{1 << bucket}us"
+            out[key] = self.bins[bucket]
+        return out
+
+
+def size_bucket(nbytes: int) -> int:
+    """Collapse message sizes into log2 buckets so history generalises
+    across runs that vary sizes slightly (64K and 65K share a bucket)."""
+    return int(nbytes).bit_length()
+
+
+class SlackMonitor:
+    """Aggregates wait/call observations for one simulation session."""
+
+    def __init__(self, alpha: float = 0.25, warm_calls: int = 2):
+        self.alpha = alpha
+        #: Samples of a (op, size-bucket) key needed before its history is
+        #: considered warm enough to predict from.
+        self.warm_calls = warm_calls
+        self._wait_ewma: Dict[int, EwmaEstimator] = {}
+        self._wait_hist: Dict[int, Log2Histogram] = {}
+        self._calls: Dict[Tuple[str, int], EwmaEstimator] = {}
+        self.waits_observed = 0
+        self.calls_observed = 0
+        self.total_wait_s = 0.0
+
+    # -- feeding ------------------------------------------------------------
+    def record_wait(self, core_id: int, seconds: float) -> None:
+        """One completed MPI wait of ``seconds`` on ``core_id``."""
+        ewma = self._wait_ewma.get(core_id)
+        if ewma is None:
+            ewma = self._wait_ewma[core_id] = EwmaEstimator(self.alpha)
+            self._wait_hist[core_id] = Log2Histogram()
+        ewma.update(seconds)
+        self._wait_hist[core_id].record(seconds)
+        self.waits_observed += 1
+        self.total_wait_s += seconds
+
+    def record_call(self, op: str, nbytes: int, seconds: float) -> None:
+        """One completed top-level MPI call (collective or blocking p2p)."""
+        key = (op, size_bucket(nbytes))
+        ewma = self._calls.get(key)
+        if ewma is None:
+            ewma = self._calls[key] = EwmaEstimator(self.alpha)
+        ewma.update(seconds)
+        self.calls_observed += 1
+
+    # -- querying -----------------------------------------------------------
+    def predicted_call_seconds(self, op: str, nbytes: int) -> Optional[float]:
+        """EWMA duration for (op, size) — None while the history is cold."""
+        ewma = self._calls.get((op, size_bucket(nbytes)))
+        if ewma is None or ewma.count < self.warm_calls:
+            return None
+        return ewma.value
+
+    def mean_wait_s(self, core_id: int) -> Optional[float]:
+        ewma = self._wait_ewma.get(core_id)
+        return None if ewma is None else ewma.value
+
+    def slack_histogram(self) -> Dict[str, int]:
+        """Cluster-wide wait-duration histogram (merged over cores)."""
+        merged: Dict[int, int] = {}
+        for hist in self._wait_hist.values():
+            for bucket, n in hist.bins.items():
+                merged[bucket] = merged.get(bucket, 0) + n
+        out: Dict[str, int] = {}
+        for bucket in sorted(merged):
+            key = "<1us" if bucket < 0 else f"{1 << bucket}us"
+            out[key] = merged[bucket]
+        return out
+
+    def summary(self) -> Dict:
+        """JSON-able snapshot for the governor report."""
+        return {
+            "waits_observed": self.waits_observed,
+            "calls_observed": self.calls_observed,
+            "total_wait_s": self.total_wait_s,
+            "slack_histogram": self.slack_histogram(),
+            "call_history": {
+                f"{op}/2^{bucket}B": {
+                    "mean_s": ewma.value,
+                    "samples": ewma.count,
+                }
+                for (op, bucket), ewma in sorted(self._calls.items())
+            },
+        }

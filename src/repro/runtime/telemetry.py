@@ -1,0 +1,119 @@
+"""Per-run governor telemetry.
+
+A :class:`GovernorReport` is the governor's flight recorder: every
+actuation (drop, restore, socket throttle, pre-scale), every armed and
+cancelled θ timer, the prediction quality of the ``predictive`` policy,
+and an estimate of the energy the actuations saved relative to running
+the same timeline with no governor.  Reports are JSON-able and exported
+through :func:`repro.bench.export.save_governor_json` (the CLI writes
+``results/governor.json`` when ``--profile`` is active).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["GovernorReport", "merge_reports"]
+
+
+@dataclass
+class GovernorReport:
+    """Counters and estimates for one governed job run."""
+
+    policy: str = "none"
+    theta_us: float = 0.0
+    #: Top-level MPI calls and waits the monitor observed.
+    calls_observed: int = 0
+    waits_observed: int = 0
+    total_wait_s: float = 0.0
+    #: θ timers armed at wait entry / cancelled because the wait ended first.
+    timers_armed: int = 0
+    timers_cancelled: int = 0
+    #: Cores dropped to the low-power state after θ of continuous wait.
+    drops: int = 0
+    #: Drops undone at wait exit (paying the transition penalty).
+    restores: int = 0
+    #: Drops undone *early* because a transfer started toward/from the core
+    #: (RDMA needs the endpoint's feed path; see MessageEngine hook).
+    traffic_restores: int = 0
+    #: Whole-socket T-state actuations (socket-granular hardware).
+    socket_throttles: int = 0
+    #: Predictive policy: calls pre-scaled to fmin before entry.
+    prescales: int = 0
+    #: Predictive decisions taken from the analytic model (cold history).
+    cold_decisions: int = 0
+    #: Pre-scaled calls that turned out too short to amortise transitions.
+    mispredictions: int = 0
+    #: Calls skipped by the predictor that turned out long enough.
+    missed_engagements: int = 0
+    #: Simulated seconds spent in restore transitions (the governor's cost).
+    penalty_s: float = 0.0
+    #: Integrated (power-before − power-during) over every drop interval.
+    estimated_saving_j: float = 0.0
+    #: Slack monitor snapshot (histogram + per-(op,size) call history).
+    monitor: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "policy": self.policy,
+            "theta_us": self.theta_us,
+            "calls_observed": self.calls_observed,
+            "waits_observed": self.waits_observed,
+            "total_wait_s": self.total_wait_s,
+            "timers_armed": self.timers_armed,
+            "timers_cancelled": self.timers_cancelled,
+            "drops": self.drops,
+            "restores": self.restores,
+            "traffic_restores": self.traffic_restores,
+            "socket_throttles": self.socket_throttles,
+            "prescales": self.prescales,
+            "cold_decisions": self.cold_decisions,
+            "mispredictions": self.mispredictions,
+            "missed_engagements": self.missed_engagements,
+            "penalty_s": self.penalty_s,
+            "estimated_saving_j": self.estimated_saving_j,
+            "monitor": self.monitor,
+        }
+
+    def one_line(self) -> str:
+        """Terse summary for CLI output."""
+        return (
+            f"governor[{self.policy}]: {self.drops} drops "
+            f"({self.traffic_restores} traffic-restored, "
+            f"{self.socket_throttles} socket throttles), "
+            f"{self.prescales} pre-scales, "
+            f"~{self.estimated_saving_j:.1f} J saved, "
+            f"{self.penalty_s * 1e6:.0f} us transition penalty"
+        )
+
+
+def merge_reports(reports: List[GovernorReport]) -> Optional[GovernorReport]:
+    """Sum counter fields across runs (a CLI experiment runs many jobs).
+
+    The merged report keeps the first run's policy/θ (one CLI scope uses
+    one config) and drops the per-run monitor detail, which does not merge
+    meaningfully; per-run monitors stay available on the individual
+    reports.
+    """
+    if not reports:
+        return None
+    merged = GovernorReport(policy=reports[0].policy, theta_us=reports[0].theta_us)
+    for r in reports:
+        merged.calls_observed += r.calls_observed
+        merged.waits_observed += r.waits_observed
+        merged.total_wait_s += r.total_wait_s
+        merged.timers_armed += r.timers_armed
+        merged.timers_cancelled += r.timers_cancelled
+        merged.drops += r.drops
+        merged.restores += r.restores
+        merged.traffic_restores += r.traffic_restores
+        merged.socket_throttles += r.socket_throttles
+        merged.prescales += r.prescales
+        merged.cold_decisions += r.cold_decisions
+        merged.mispredictions += r.mispredictions
+        merged.missed_engagements += r.missed_engagements
+        merged.penalty_s += r.penalty_s
+        merged.estimated_saving_j += r.estimated_saving_j
+    merged.monitor = {"runs_merged": len(reports)}
+    return merged

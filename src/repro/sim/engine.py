@@ -81,7 +81,26 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
+        self._purge_cancelled()
         return self._queue[0][0] if self._queue else Infinity
+
+    def _purge_cancelled(self) -> None:
+        """Drop cancelled :class:`Timer` entries from the head of the queue.
+
+        Lazy deletion leaves cancelled timers in the heap; purging them
+        before they are *observed* means a dead timer never advances the
+        clock, never counts as a processed event, and — critically for
+        ``run(until=T)`` — never extends a bounded run past the horizon
+        just to process a no-op (a governor timeout armed behind a wait
+        that ended early, a fabric completion estimate that was re-rated).
+        """
+        queue = self._queue
+        while queue:
+            event = queue[0][3]
+            if isinstance(event, Timer) and event.cancelled:
+                heapq.heappop(queue)
+            else:
+                return
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
@@ -103,6 +122,7 @@ class Environment:
 
     def step(self) -> None:
         """Process the single next event; raises :class:`EmptySchedule` if none."""
+        self._purge_cancelled()
         try:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
@@ -143,7 +163,10 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise ValueError(f"until={horizon} lies in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
+        while True:
+            self._purge_cancelled()
+            if not self._queue or self._queue[0][0] > horizon:
+                break
             self.step()
         self._now = horizon
         return None

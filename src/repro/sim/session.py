@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..network.params import NetworkSpec
     from ..power.accounting import EnergyAccountant
     from ..power.model import PowerModel, PowerModelParams
+    from ..runtime.governor import Governor
 
 
 class SessionConfigError(ValueError):
@@ -94,6 +95,7 @@ class SimSession:
         tracer: Optional[Tracer] = None,
         keep_segments: bool = True,
         validate: bool = True,
+        governor: Optional["Governor"] = None,
     ):
         from ..cluster.specs import ClusterSpec
         from ..cluster.topology import Cluster
@@ -101,6 +103,7 @@ class SimSession:
         from ..network.params import NetworkSpec
         from ..power.accounting import EnergyAccountant
         from ..power.model import PowerModel
+        from ..runtime.governor import ambient_governor_scope
 
         self.cluster_spec = cluster_spec or ClusterSpec.paper_testbed()
         self.network_spec = network_spec or NetworkSpec()
@@ -119,6 +122,15 @@ class SimSession:
         self.accountant: "EnergyAccountant" = EnergyAccountant(
             self.cluster, self.power_model, keep_segments=keep_segments
         )
+        if governor is None:
+            scope = ambient_governor_scope()
+            if scope is not None:
+                governor = scope.make_governor()
+        #: Optional online power governor (see :mod:`repro.runtime`); the
+        #: MPI layer notifies it when present, never pays for it when not.
+        self.governor: Optional["Governor"] = governor
+        if governor is not None:
+            governor.bind(self)
 
     @property
     def now(self) -> float:

@@ -1,0 +1,224 @@
+"""Edge cases of the T-state choreography (ISSUE 2, satellite 3).
+
+Covers overlapping DVFS down/up pairs (transitions are absolute state
+writes, not reference counts) and the T_PARTIAL -> T_FULL restore
+ordering of the shared-memory power-aware algorithms.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, ThrottleGranularity
+from repro.collectives import CollectiveConfig, CollectiveEngine, PowerMode
+from repro.collectives.power_control import (
+    T_FULL,
+    T_LOW,
+    T_PARTIAL,
+    dvfs_down,
+    dvfs_up,
+)
+from repro.mpi import MpiJob
+from repro.sim import RecordingTracer, SimSession
+
+PAPER_RANKS = 64
+
+
+def _traced_job(n_ranks=PAPER_RANKS, mode=PowerMode.PROPOSED):
+    tracer = RecordingTracer()
+    session = SimSession(tracer=tracer)
+    job = MpiJob(
+        n_ranks,
+        session=session,
+        collectives=CollectiveEngine(CollectiveConfig(power_mode=mode)),
+    )
+    return job, tracer
+
+
+def _per_core_chains(tracer, record_type):
+    """Group power-state records by core and return their (old, new) chains."""
+    chains = {}
+    for r in tracer.of_type(record_type):
+        chains.setdefault(r.data["core"], []).append((r.data["old"], r.data["new"]))
+    return chains
+
+
+def _assert_chains_consistent(chains):
+    """Each core's old value must match the previous record's new value —
+    an absolute-state audit trail with no lost updates."""
+    for core_id, chain in chains.items():
+        for prev, cur in zip(chain, chain[1:]):
+            assert prev[1] == cur[0], f"core {core_id}: broken chain {chain}"
+
+
+def _leader_socket_ids(job):
+    """Socket ids that host a node leader rank."""
+    aff = job.affinity
+    return {
+        aff.core_of(aff.node_leader(node_id)).socket_id
+        for node_id in range(aff.n_nodes_used)
+    }
+
+
+# -- overlapping DVFS pairs --------------------------------------------------
+def test_overlapping_dvfs_pairs_are_absolute():
+    """Two nested downs + one up must land at fmax: DVFS writes absolute
+    P-states, not a depth counter, so an overlap cannot strand fmin."""
+    job, _ = _traced_job(n_ranks=8)
+
+    def program(ctx):
+        yield from dvfs_down(ctx)
+        yield from dvfs_down(ctx)  # overlap: already at fmin
+        yield from dvfs_up(ctx)
+
+    job.run(program)
+    for core in job.cluster.cores:
+        assert core.frequency_ghz == core.spec.fmax
+
+
+def test_redundant_dvfs_emits_no_state_change():
+    """The second down of an overlapping pair is a silent no-op at the
+    state layer: exactly one fmax->fmin and one fmin->fmax per core."""
+    job, tracer = _traced_job(n_ranks=8)
+
+    def program(ctx):
+        yield from dvfs_down(ctx)
+        yield from dvfs_down(ctx)
+        yield from dvfs_up(ctx)
+        yield from dvfs_up(ctx)
+
+    job.run(program)
+    chains = _per_core_chains(tracer, "core.frequency")
+    _assert_chains_consistent(chains)
+    spec = job.cluster.cores[0].spec
+    for chain in chains.values():
+        assert chain == [(spec.fmax, spec.fmin), (spec.fmin, spec.fmax)]
+
+
+def test_reasserting_throttle_level_is_free():
+    """ctx.throttle is idempotent: re-asserting the current level costs
+    neither time nor a transition (power_shm relies on this when several
+    ranks of one socket all issue the same level)."""
+    job, _ = _traced_job(n_ranks=8)
+    times = []
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.throttle(T_LOW)
+            times.append(ctx.env.now)
+            yield from ctx.throttle(T_LOW)  # no-op: same level
+            times.append(ctx.env.now)
+            yield from ctx.throttle(T_FULL)
+
+    job.run(program)
+    assert times[0] == times[1]
+    assert job.stats.throttle_transitions == 2  # down + restore only
+
+
+# -- shared-memory choreography (T_PARTIAL vs T_LOW) -------------------------
+@pytest.mark.parametrize("op", ["bcast", "reduce"])
+def test_shm_network_phase_partial_vs_full_throttle(op):
+    """§V-B: during the network phase the leader's socket sits at T_PARTIAL
+    (never deeper — the leader is moving data) while the other socket
+    drops to T_LOW; both restore to T_FULL afterwards."""
+    job, tracer = _traced_job()
+
+    def program(ctx):
+        yield from getattr(ctx, op)(256 << 10)
+
+    job.run(program)
+    chains = _per_core_chains(tracer, "core.tstate")
+    _assert_chains_consistent(chains)
+    assert chains, "proposed shm collective must throttle"
+    leader_sockets = _leader_socket_ids(job)
+    core_by_id = {c.core_id: c for c in job.cluster.cores}
+    saw_partial = saw_low = False
+    for core_id, chain in chains.items():
+        levels = {new for _, new in chain}
+        if core_by_id[core_id].socket_id in leader_sockets:
+            # The leader's package: partial throttle only.
+            assert levels <= {T_PARTIAL, T_FULL}, (core_id, chain)
+            saw_partial = saw_partial or T_PARTIAL in levels
+        else:
+            assert levels <= {T_LOW, T_FULL}, (core_id, chain)
+            saw_low = saw_low or T_LOW in levels
+        # Restore ordering: the last write returns the core to T_FULL.
+        assert chain[-1][1] == T_FULL
+    assert saw_partial and saw_low
+    for core in job.cluster.cores:
+        assert core.tstate == T_FULL
+        assert core.frequency_ghz == core.spec.fmax
+
+
+@pytest.mark.parametrize("op", ["bcast", "reduce"])
+def test_shm_restore_happens_before_intra_node_phase_ends(op):
+    """T_PARTIAL -> T_FULL must precede the final DVFS restore: the
+    intra-node fan-out runs unthrottled (still at fmin), so per core the
+    last tstate record is older than the last frequency record."""
+    job, tracer = _traced_job()
+
+    def program(ctx):
+        yield from getattr(ctx, op)(256 << 10)
+
+    job.run(program)
+    last_tstate = {}
+    for r in tracer.of_type("core.tstate"):
+        last_tstate[r.data["core"]] = r.t
+    last_freq = {}
+    for r in tracer.of_type("core.frequency"):
+        last_freq[r.data["core"]] = r.t
+    assert last_tstate
+    for core_id, t_restore in last_tstate.items():
+        assert t_restore <= last_freq[core_id], (
+            f"core {core_id}: unthrottle at {t_restore} after "
+            f"final DVFS restore at {last_freq[core_id]}"
+        )
+
+
+def test_back_to_back_proposed_collectives_restore_cleanly():
+    """Consecutive shared-memory collectives re-enter the choreography
+    immediately after a restore; every overlap must still resolve to a
+    clean T_FULL/fmax end state with consistent per-core audit chains."""
+    job, tracer = _traced_job()
+
+    def program(ctx):
+        yield from ctx.bcast(128 << 10)
+        yield from ctx.reduce(128 << 10)
+        yield from ctx.bcast(64 << 10)
+
+    job.run(program)
+    for record_type in ("core.tstate", "core.frequency"):
+        chains = _per_core_chains(tracer, record_type)
+        _assert_chains_consistent(chains)
+    for core in job.cluster.cores:
+        assert core.tstate == T_FULL
+        assert core.frequency_ghz == core.spec.fmax
+
+
+def test_core_granular_shm_leaves_leader_untouched():
+    """On core-granular hardware (§VI-B2) the leader core itself is never
+    throttled; every non-leader core drops to T_LOW."""
+    spec = ClusterSpec.with_shape(
+        nodes=8, sockets=2, cores_per_socket=4,
+        granularity=ThrottleGranularity.CORE,
+    )
+    tracer = RecordingTracer()
+    session = SimSession(cluster_spec=spec, tracer=tracer)
+    job = MpiJob(
+        PAPER_RANKS,
+        session=session,
+        collectives=CollectiveEngine(CollectiveConfig(power_mode=PowerMode.PROPOSED)),
+    )
+
+    def program(ctx):
+        yield from ctx.bcast(256 << 10)
+
+    job.run(program)
+    aff = job.affinity
+    leader_cores = {
+        aff.core_of(aff.node_leader(node_id)).core_id
+        for node_id in range(aff.n_nodes_used)
+    }
+    chains = _per_core_chains(tracer, "core.tstate")
+    assert chains
+    assert not leader_cores & set(chains), "leader cores must stay at T0"
+    for chain in chains.values():
+        assert chain[-1][1] == T_FULL

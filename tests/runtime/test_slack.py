@@ -1,0 +1,93 @@
+"""Unit tests for the slack monitor (EWMA, histogram, call history)."""
+
+import pytest
+
+from repro.runtime.slack import (
+    EwmaEstimator,
+    Log2Histogram,
+    SlackMonitor,
+    size_bucket,
+)
+
+
+def test_ewma_first_sample_is_exact():
+    e = EwmaEstimator(alpha=0.25)
+    assert e.value is None
+    assert e.update(4.0) == 4.0
+    assert e.count == 1
+
+
+def test_ewma_converges_toward_constant_input():
+    e = EwmaEstimator(alpha=0.5)
+    for _ in range(20):
+        e.update(10.0)
+    assert e.value == pytest.approx(10.0)
+
+
+def test_ewma_weights_recent_samples():
+    e = EwmaEstimator(alpha=0.5)
+    e.update(0.0)
+    e.update(8.0)
+    assert e.value == pytest.approx(4.0)
+
+
+def test_ewma_rejects_bad_alpha():
+    with pytest.raises(ValueError):
+        EwmaEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        EwmaEstimator(alpha=1.5)
+
+
+def test_histogram_buckets_powers_of_two_microseconds():
+    h = Log2Histogram()
+    h.record(0.5e-6)   # <1us
+    h.record(1.0e-6)   # [1,2)us
+    h.record(3.0e-6)   # [2,4)us
+    h.record(300e-6)   # [256,512)us
+    assert h.summary() == {"<1us": 1, "1us": 1, "2us": 1, "256us": 1}
+    assert h.count == 4
+    assert h.total_s == pytest.approx(304.5e-6)
+
+
+def test_size_bucket_groups_near_sizes():
+    assert size_bucket(64 << 10) == size_bucket((64 << 10) + 100)
+    assert size_bucket(64 << 10) != size_bucket(256 << 10)
+
+
+def test_monitor_call_history_warmup():
+    m = SlackMonitor(warm_calls=2)
+    assert m.predicted_call_seconds("alltoall", 1 << 20) is None
+    m.record_call("alltoall", 1 << 20, 0.010)
+    assert m.predicted_call_seconds("alltoall", 1 << 20) is None  # still cold
+    m.record_call("alltoall", 1 << 20, 0.010)
+    assert m.predicted_call_seconds("alltoall", 1 << 20) == pytest.approx(0.010)
+    # Different size bucket stays cold.
+    assert m.predicted_call_seconds("alltoall", 1 << 10) is None
+    # Different op stays cold.
+    assert m.predicted_call_seconds("bcast", 1 << 20) is None
+
+
+def test_monitor_per_core_waits_merge_into_cluster_histogram():
+    m = SlackMonitor()
+    m.record_wait(0, 100e-6)
+    m.record_wait(1, 100e-6)
+    m.record_wait(1, 0.5e-6)
+    assert m.waits_observed == 3
+    assert m.total_wait_s == pytest.approx(200.5e-6)
+    assert m.slack_histogram() == {"<1us": 1, "64us": 2}
+    assert m.mean_wait_s(0) == pytest.approx(100e-6)
+    assert m.mean_wait_s(7) is None
+
+
+def test_monitor_summary_is_json_shaped():
+    import json
+
+    m = SlackMonitor()
+    m.record_wait(0, 1e-3)
+    m.record_call("bcast", 4096, 2e-3)
+    summary = m.summary()
+    json.dumps(summary)  # must be serialisable
+    assert summary["waits_observed"] == 1
+    assert summary["calls_observed"] == 1
+    (key,) = summary["call_history"]
+    assert key.startswith("bcast/2^")

@@ -71,7 +71,8 @@ def test_cancel_is_idempotent_and_safe_after_fire():
 
 def test_cancel_mid_run_via_another_timer():
     """A timer cancelled before its firing time stays in the heap (lazy
-    deletion) but is processed as a no-op."""
+    deletion) but is purged unobserved: it neither fires nor advances the
+    clock to its scheduled time."""
     env = Environment()
     fired = []
 
@@ -79,7 +80,61 @@ def test_cancel_mid_run_via_another_timer():
     env.call_after(2.0, lambda t: late.cancel())
     env.run()
     assert fired == []
-    assert env.now == 10.0  # the dead heap entry still drains the clock
+    assert env.now == 2.0  # the dead heap entry does not drain the clock
+
+
+def test_cancelled_timer_does_not_count_as_processed_event():
+    env = Environment()
+    env.call_after(5.0, lambda t: None).cancel()
+    env.run()
+    assert env.events_processed == 0
+    assert env.now == 0.0
+
+
+def test_cancelled_timer_past_horizon_does_not_extend_run():
+    """run(until=T) + a pending cancelled timer beyond T: the bounded run
+    must stop at T, and a later unbounded run must not revive the entry
+    (the governor's timeout-θ timers rely on this)."""
+    env = Environment()
+    fired = []
+
+    late = env.call_after(10.0, lambda t: fired.append("late"))
+    env.call_after(2.0, lambda t: late.cancel())
+    env.run(until=5.0)
+    assert env.now == 5.0
+    assert env.peek() == float("inf")  # dead entry is not pending work
+    env.run()
+    assert fired == []
+    assert env.now == 5.0
+
+
+def test_live_timer_past_horizon_survives_bounded_run():
+    env = Environment()
+    fired = []
+
+    env.call_after(10.0, lambda t: fired.append(env.now))
+    env.run(until=5.0)
+    assert env.now == 5.0
+    assert fired == []
+    assert env.peek() == 10.0
+    env.run()
+    assert fired == [10.0]
+
+
+def test_cancel_between_runs_before_horizon():
+    """A timer inside the horizon but cancelled between runs is purged by
+    the horizon loop without being stepped."""
+    env = Environment()
+    fired = []
+
+    timer = env.call_after(3.0, lambda t: fired.append("t"))
+    env.run(until=1.0)
+    timer.cancel()
+    before = env.events_processed
+    env.run(until=5.0)
+    assert fired == []
+    assert env.events_processed == before
+    assert env.now == 5.0
 
 
 def test_timer_callback_receives_timer_handle():

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.network",
     "repro.power",
     "repro.mpi",
+    "repro.runtime",
     "repro.collectives",
     "repro.models",
     "repro.apps",
