@@ -31,6 +31,17 @@ from .cluster import (
     ThrottleGranularity,
 )
 from .collectives import CollectiveConfig, CollectiveEngine, PowerMode
+from .faults import (
+    FaultPlan,
+    FaultSpecError,
+    LinkDegrade,
+    LinkFlap,
+    OsNoise,
+    Straggler,
+    TransitionJitter,
+    parse_fault_spec,
+    use_faults,
+)
 from .mpi import JobResult, MpiJob, ProgressMode, RankContext, run_collective_once
 from .network import NetworkSpec
 from .power import EnergyAccountant, PowerMeter, PowerModel, PowerModelParams
@@ -61,16 +72,21 @@ __all__ = [
     "CollectiveEngine",
     "CpuSpec",
     "EnergyAccountant",
+    "FaultPlan",
+    "FaultSpecError",
     "Governor",
     "GovernorConfig",
     "GovernorPolicy",
     "GovernorReport",
     "JobResult",
     "JsonlTracer",
+    "LinkDegrade",
+    "LinkFlap",
     "MpiJob",
     "NetworkSpec",
     "NodeSpec",
     "NullTracer",
+    "OsNoise",
     "PowerMeter",
     "PowerMode",
     "PowerModel",
@@ -80,9 +96,13 @@ __all__ = [
     "RecordingTracer",
     "SessionConfigError",
     "SimSession",
+    "Straggler",
     "ThrottleGranularity",
     "Tracer",
+    "TransitionJitter",
+    "parse_fault_spec",
     "run_collective_once",
+    "use_faults",
     "use_governor",
     "use_tracer",
     "__version__",

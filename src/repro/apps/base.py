@@ -159,10 +159,16 @@ def run_app(
     power_mode: PowerMode = PowerMode.NONE,
     cluster_spec: Optional[ClusterSpec] = None,
     keep_segments: bool = False,
+    faults: Optional["FaultPlan"] = None,  # noqa: F821
     **job_kwargs,
 ) -> AppResult:
     """Run ``app`` at ``n_ranks`` under ``power_mode``; extrapolate to the
-    full iteration count."""
+    full iteration count.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) perturbs the run — the
+    app's compute phases pay straggler/OS-noise costs through
+    ``ctx.compute`` and its alltoalls see any injected link degradation.
+    """
     profile = app.profile(n_ranks)
     if cluster_spec is None:
         # Fully-subscribed nodes, exactly as many as the run needs (the
@@ -177,6 +183,7 @@ def run_app(
         cluster_spec=cluster_spec,
         collectives=engine,
         keep_segments=keep_segments,
+        faults=faults,
         **job_kwargs,
     )
     tracer = job.session.tracer

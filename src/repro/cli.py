@@ -64,6 +64,7 @@ EXPERIMENTS = {
     "ext-governor-alltoall": bench.extension_governor_alltoall,
     "ext-governor-mixed": bench.extension_governor_mixed,
     "ext-governor-apps": bench.extension_governor_apps,
+    "ext-faults": bench.extension_faults_governor,
 }
 
 
@@ -115,6 +116,35 @@ def _add_instrumentation_flags(subparser: argparse.ArgumentParser) -> None:
         help="countdown threshold theta in microseconds "
              "(default 200; needs --governor)",
     )
+    subparser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="perturb every simulation with a deterministic fault plan, "
+             "e.g. 'degrade:factor=0.5;noise:period=500us;jitter' "
+             "(grammar: repro.faults.parse_fault_spec)",
+    )
+    subparser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="N",
+        help="seed for the fault plan's randomness (default 0; "
+             "needs --faults)",
+    )
+
+
+def _fault_plan(args):
+    """Build a FaultPlan from the CLI flags (None = not requested)."""
+    spec = getattr(args, "faults", None)
+    seed = getattr(args, "fault_seed", None)
+    if spec is None:
+        if seed is not None:
+            raise SystemExit("--fault-seed requires --faults")
+        return None
+    if seed is not None and seed < 0:
+        raise SystemExit(f"--fault-seed must be non-negative, got {seed}")
+    from .faults import FaultSpecError, parse_fault_spec
+
+    try:
+        return parse_fault_spec(spec, seed=seed or 0)
+    except FaultSpecError as exc:
+        raise SystemExit(f"bad --faults spec: {exc}") from None
 
 
 def _governor_config(args):
@@ -125,6 +155,11 @@ def _governor_config(args):
         if theta_us is not None:
             raise SystemExit("--governor-theta requires --governor")
         return None
+    if theta_us is not None and theta_us <= 0:
+        raise SystemExit(
+            f"--governor-theta must be a positive duration in "
+            f"microseconds, got {theta_us}"
+        )
     from .runtime import GovernorConfig, GovernorPolicy
 
     kwargs = {"policy": GovernorPolicy(policy_name)}
@@ -134,16 +169,19 @@ def _governor_config(args):
 
 
 def _instrumented(args, out, fn: Callable[[], int]) -> int:
-    """Run ``fn`` under the --trace / --profile / --governor scopes."""
+    """Run ``fn`` under the --trace / --profile / --governor / --faults
+    scopes."""
     from .bench.profile import SelfProfile
     from .sim.trace import JsonlTracer, use_tracer
 
     trace_path = getattr(args, "trace", None)
     profile = SelfProfile() if getattr(args, "profile", False) else None
     governor_config = _governor_config(args)
+    fault_plan = _fault_plan(args)
     with contextlib.ExitStack() as stack:
         tracer = None
         governor_scope = None
+        fault_scope = None
         if trace_path is not None:
             try:
                 tracer = stack.enter_context(JsonlTracer(trace_path))
@@ -155,6 +193,10 @@ def _instrumented(args, out, fn: Callable[[], int]) -> int:
             from .runtime import use_governor
 
             governor_scope = stack.enter_context(use_governor(governor_config))
+        if fault_plan is not None:
+            from .faults import use_faults
+
+            fault_scope = stack.enter_context(use_faults(fault_plan))
         if profile is not None:
             stack.enter_context(profile)
         rc = fn()
@@ -173,6 +215,20 @@ def _instrumented(args, out, fn: Callable[[], int]) -> int:
 
             path = save_governor_json(governor_scope.reports)
             print(f"wrote governor telemetry to {path}", file=out)
+    if fault_scope is not None:
+        reports = fault_scope.reports
+        if reports:
+            print(
+                f"faults[seed={fault_plan.seed}] over {len(reports)} runs: "
+                f"{sum(r.link_events for r in reports)} link events, "
+                f"{sum(r.straggled_calls for r in reports)} slowed computes, "
+                f"{sum(r.noise_pulses for r in reports)} noise pulses, "
+                f"{sum(r.jittered_transitions for r in reports)} "
+                "jittered transitions",
+                file=out,
+            )
+        else:
+            print("faults: no simulation ran under the plan", file=out)
     if profile is not None:
         print(profile.report(), file=out)
     return rc

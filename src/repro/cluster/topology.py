@@ -99,6 +99,13 @@ class Cluster:
         for core in self.cores:
             core.add_listener(listener)
 
+    def remove_listener(self, listener) -> None:
+        """Detach a state listener from every core (inverse of
+        :meth:`add_listener`); raises ``ValueError`` if it was never
+        attached."""
+        for core in self.cores:
+            core.remove_listener(listener)
+
     def attach_tracer(self, tracer) -> None:
         """Point every core's instrumentation hook at ``tracer``."""
         for core in self.cores:

@@ -1,0 +1,54 @@
+"""Ambient fault scope: ``use_faults`` mirrors ``use_tracer``/``use_governor``.
+
+While a scope is active, every :class:`~repro.sim.session.SimSession`
+built without an explicit ``faults`` plan binds the scope's plan, and the
+per-run :class:`~repro.faults.state.FaultReport` s accumulate on the
+scope — the CLI uses this to perturb whole experiments without threading
+a parameter through every benchmark function.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from .plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .state import FaultReport
+
+__all__ = ["FaultScope", "ambient_fault_scope", "use_faults"]
+
+
+class FaultScope:
+    """Ambient fault configuration plus the reports of every run under it."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.reports: List["FaultReport"] = []
+
+    def collect(self, report: "FaultReport") -> None:
+        self.reports.append(report)
+
+
+_AMBIENT: List[FaultScope] = []
+
+
+def ambient_fault_scope() -> Optional[FaultScope]:
+    """The innermost active :func:`use_faults` scope, if any."""
+    return _AMBIENT[-1] if _AMBIENT else None
+
+
+@contextlib.contextmanager
+def use_faults(plan: FaultPlan) -> Iterator[FaultScope]:
+    """Install ``plan`` as the ambient fault plan for the ``with`` body.
+
+    Yields the :class:`FaultScope`; after the body ran, ``scope.reports``
+    holds one :class:`~repro.faults.state.FaultReport` per perturbed job.
+    """
+    scope = FaultScope(plan)
+    _AMBIENT.append(scope)
+    try:
+        yield scope
+    finally:
+        _AMBIENT.remove(scope)

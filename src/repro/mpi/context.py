@@ -216,11 +216,15 @@ class RankContext:
     # -- computation ---------------------------------------------------------------
     def compute(self, seconds_at_peak: float):
         """Run application computation costing ``seconds_at_peak`` at fmax/T0;
-        slower under DVFS/throttling."""
+        slower under DVFS/throttling (and under injected stragglers/OS
+        noise when a fault plan is active)."""
         if seconds_at_peak < 0:
             raise ValueError("compute time must be >= 0")
         if seconds_at_peak == 0:
             return
+        faults = self.job.faults
+        if faults is not None:
+            seconds_at_peak = faults.perturb_compute(self.core, seconds_at_peak)
         self.core.set_activity(Activity.COMPUTE, self.env.now)
         yield self.env.timeout(self.core.cpu_time(seconds_at_peak))
         self.core.set_activity(Activity.POLLING, self.env.now)
@@ -235,7 +239,11 @@ class RankContext:
     def scale_frequency(self, freq_ghz: float, charge: bool = True):
         """DVFS this rank's core (pays ``Odvfs`` unless ``charge=False``)."""
         if charge:
-            yield self.env.timeout(self.core.spec.dvfs_latency_s)
+            faults = self.job.faults
+            yield self.env.timeout(
+                self.core.spec.dvfs_latency_s if faults is None
+                else faults.dvfs_latency_s(self.core)
+            )
         self.core.set_frequency(freq_ghz, self.env.now)
         self.job.net.dvfs_changed(self.core.node_id)
         self.job.stats.dvfs_transitions += 1
@@ -250,7 +258,11 @@ class RankContext:
         if self.core.tstate == level:
             return
         if charge:
-            yield self.env.timeout(self.core.spec.throttle_latency_s)
+            faults = self.job.faults
+            yield self.env.timeout(
+                self.core.spec.throttle_latency_s if faults is None
+                else faults.throttle_latency_s(self.core)
+            )
         self.job.cluster.throttle_domain.apply(
             self.core, self.socket, level, self.env.now
         )

@@ -104,6 +104,7 @@ class MpiJob:
         keep_segments: bool = True,
         session: Optional[SimSession] = None,
         governor: Optional["Governor"] = None,  # noqa: F821
+        faults: Optional["FaultPlan"] = None,  # noqa: F821
     ):
         from ..collectives.registry import CollectiveEngine  # local: avoid cycle
 
@@ -115,15 +116,23 @@ class MpiJob:
                 power_params=power_params,
                 keep_segments=keep_segments,
                 governor=governor,
+                faults=faults,
             )
         elif governor is not None:
             raise ValueError(
                 "pass the governor to the SimSession (the session owns it), "
                 "not to a job adopting an existing session"
             )
+        elif faults is not None:
+            raise ValueError(
+                "pass the fault plan to the SimSession (the session owns "
+                "it), not to a job adopting an existing session"
+            )
         self.session = session
         #: Optional online power governor (None = zero-overhead path).
         self.governor = session.governor
+        #: Live fault-injection state (None = unperturbed, zero overhead).
+        self.faults = session.faults
         self.env = session.env
         self.cluster = session.cluster
         self.affinity = AffinityMap(self.cluster, n_ranks, policy=affinity)
@@ -220,6 +229,8 @@ class MpiJob:
         end = max(finish_times) if finish_times else self.env.now
         if self.governor is not None:
             self.governor.finish_run()
+        if self.faults is not None:
+            self.faults.finish_run()
         self.accountant.finalize(end)
         self.stats.wall_time_s = time.perf_counter() - wall_start
         self.stats.events_processed = self.env.events_processed - events_before

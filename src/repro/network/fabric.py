@@ -45,10 +45,13 @@ class Link:
 
     ``capacity_fn`` (if given) is consulted on every recomputation so that
     capacities can track external state — the NIC links use it to follow
-    the node's DVFS level (uncore slowdown).
+    the node's DVFS level (uncore slowdown).  ``fault_factor`` is the
+    fault layer's multiplicative degradation (see :mod:`repro.faults`);
+    it stays exactly 1.0 — and therefore bit-invisible — unless a fault
+    plan is active.
     """
 
-    __slots__ = ("name", "base_capacity", "capacity_fn")
+    __slots__ = ("name", "base_capacity", "capacity_fn", "fault_factor")
 
     def __init__(
         self,
@@ -61,12 +64,17 @@ class Link:
         self.name = name
         self.base_capacity = base_capacity
         self.capacity_fn = capacity_fn
+        self.fault_factor = 1.0
 
     @property
     def capacity(self) -> float:
-        if self.capacity_fn is not None:
-            return self.capacity_fn()
-        return self.base_capacity
+        cap = (
+            self.capacity_fn() if self.capacity_fn is not None
+            else self.base_capacity
+        )
+        if self.fault_factor != 1.0:
+            cap *= self.fault_factor
+        return cap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.name} {self.capacity / 1e9:.2f} GB/s>"
@@ -280,7 +288,10 @@ class Fabric:
             self.link_flows[link.name] = self.link_flows.get(link.name, 0) + 1
         tracer = self.env.tracer
         if tracer.enabled:
-            tracer.flow_start(now, label, nbytes, [lk.name for lk in flow.links])
+            tracer.flow_start(
+                now, label, nbytes, [lk.name for lk in flow.links],
+                seq=flow.seq,
+            )
         self._rerate(flow.links)
         return event
 
@@ -418,6 +429,8 @@ class Fabric:
                         flow.nbytes,
                         flow.started_at,
                         [lk.name for lk in flow.links],
+                        seq=flow.seq,
+                        delivered=flow.nbytes,
                     )
                 flow.event.succeed(now)
             else:

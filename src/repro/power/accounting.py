@@ -56,15 +56,39 @@ class EnergyAccountant:
             core.core_id: 0.0 for core in cluster.cores
         }
         self._finalized_at: Optional[float] = None
+        self._detached = False
         cluster.add_listener(self._on_change)
 
     # -- listener ----------------------------------------------------------
+    def detach(self) -> None:
+        """Stop observing the cluster (removes the core listeners).
+
+        Idempotent.  Call this before reusing a cluster with a fresh
+        accountant — a finalized-but-attached accountant raises on the
+        next state change instead of silently extending its segments.
+        """
+        if self._detached:
+            return
+        self.cluster.remove_listener(self._on_change)
+        self._detached = True
+
+    @property
+    def detached(self) -> bool:
+        return self._detached
+
     def _on_change(self, core: Core, now: float) -> None:
         """Close the segment that ends at ``now`` (core state is still the
         *old* state when this is invoked)."""
         last = self._last_time[core.core_id]
         if now < last:  # pragma: no cover - defensive
             raise ValueError(f"time went backwards for core {core.core_id}")
+        if self._finalized_at is not None and now > last:
+            raise RuntimeError(
+                f"EnergyAccountant was finalized at t={self._finalized_at} "
+                f"but core {core.core_id} changed state at t={now}; call "
+                "detach() before reusing the cluster (a finalized "
+                "accountant must not silently extend its segments)"
+            )
         if now > last:
             power = self.model.core_power(core)
             self._core_energy[core.core_id] += power * (now - last)

@@ -242,6 +242,18 @@ class Governor:
     def _fsm(self, ctx) -> _CoreFsm:
         return self._cores[ctx.core.core_id]
 
+    def _dvfs_s(self, core: "Core") -> float:
+        """Odvfs for this actuation (jittered under an active fault plan)."""
+        faults = self.session.faults if self.session is not None else None
+        return (core.spec.dvfs_latency_s if faults is None
+                else faults.dvfs_latency_s(core))
+
+    def _throttle_s(self, core: "Core") -> float:
+        """Othrottle for this actuation (jittered under an active fault plan)."""
+        faults = self.session.faults if self.session is not None else None
+        return (core.spec.throttle_latency_s if faults is None
+                else faults.throttle_latency_s(core))
+
     # -- call entry/exit ----------------------------------------------------
     def call_begin(self, ctx, op: str, nbytes: int):
         """Notification generator: a rank enters a top-level MPI call."""
@@ -263,8 +275,9 @@ class Governor:
                 st.predropped = True
                 self.prescales += 1
                 spec = ctx.core.spec
-                self.penalty_s += spec.dvfs_latency_s
-                yield self.env.timeout(spec.dvfs_latency_s)
+                latency = self._dvfs_s(ctx.core)
+                self.penalty_s += latency
+                yield self.env.timeout(latency)
                 ctx.core.set_frequency(spec.fmin, self.env.now)
                 self.net.dvfs_changed(ctx.core.node_id)
         return
@@ -282,8 +295,9 @@ class Governor:
         if st.predropped:
             st.predropped = False
             spec = ctx.core.spec
-            self.penalty_s += spec.dvfs_latency_s
-            yield self.env.timeout(spec.dvfs_latency_s)
+            latency = self._dvfs_s(ctx.core)
+            self.penalty_s += latency
+            yield self.env.timeout(latency)
             ctx.core.set_frequency(spec.fmax, self.env.now)
             self.net.dvfs_changed(ctx.core.node_id)
         st.engaged = False
@@ -323,16 +337,15 @@ class Governor:
         if not st.dropped:
             return 0.0
         penalty = 0.0
-        spec = ctx.core.spec
         sock = self._sockets[st.core.socket_id]
         if self._granularity is ThrottleGranularity.SOCKET:
             if sock.throttled:
                 sock.throttled = False  # claim the restore for this core
-                penalty += spec.throttle_latency_s
+                penalty += self._throttle_s(ctx.core)
         elif st.core.tstate != T_FULL:
-            penalty += spec.throttle_latency_s
+            penalty += self._throttle_s(ctx.core)
         if st.freq_dropped:
-            penalty += spec.dvfs_latency_s
+            penalty += self._dvfs_s(ctx.core)
         if penalty == 0.0:
             # Nothing was actually actuated (e.g. the socket never filled
             # up, or a sibling already restored it): bookkeeping only.
@@ -360,16 +373,15 @@ class Governor:
             st = self._cores.get(core.core_id)
             if st is None or not st.dropped:
                 continue
-            spec = core.spec
             sock = self._sockets[core.socket_id]
             if self._granularity is ThrottleGranularity.SOCKET:
                 if sock.throttled:
                     sock.throttled = False
-                    delay += spec.throttle_latency_s
+                    delay += self._throttle_s(core)
             elif core.tstate != T_FULL:
-                delay += spec.throttle_latency_s
+                delay += self._throttle_s(core)
             if st.freq_dropped:
-                delay += spec.dvfs_latency_s
+                delay += self._dvfs_s(core)
             self._finish_restore(st, unthrottle_socket=True)
             self.traffic_restores += 1
         if delay:

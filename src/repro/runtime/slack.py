@@ -20,6 +20,7 @@ nothing.  When no governor is installed at all, none of this code runs
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Tuple
 
 __all__ = ["EwmaEstimator", "Log2Histogram", "SlackMonitor"]
@@ -38,10 +39,20 @@ class EwmaEstimator:
         self.value: Optional[float] = None
         self.count = 0
 
-    def update(self, sample: float) -> float:
-        """Fold in ``sample``; returns the new estimate."""
+    def update(self, sample: float) -> Optional[float]:
+        """Fold in ``sample``; returns the (possibly unchanged) estimate.
+
+        Defensive against clock skew in the duration sources: NaN samples
+        are ignored outright, negative ones clamp to 0.0 — a single bad
+        reading must not poison the whole history.
+        """
+        sample = float(sample)
+        if math.isnan(sample):
+            return self.value
+        if sample < 0.0:
+            sample = 0.0
         if self.value is None:
-            self.value = float(sample)
+            self.value = sample
         else:
             self.value += self.alpha * (sample - self.value)
         self.count += 1
@@ -64,6 +75,11 @@ class Log2Histogram:
         self.count = 0
 
     def record(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if math.isnan(seconds):  # clock-skew defensive: drop, don't poison
+            return
+        if seconds < 0.0:
+            seconds = 0.0
         us = seconds * 1e6
         bucket = int(us).bit_length() - 1 if us >= 1.0 else -1
         self.bins[bucket] = self.bins.get(bucket, 0) + 1

@@ -30,6 +30,8 @@ from .trace import Tracer, default_tracer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cluster.specs import ClusterSpec
     from ..cluster.topology import Cluster
+    from ..faults.plan import FaultPlan
+    from ..faults.state import FaultState
     from ..network.ibnet import IBNetwork
     from ..network.params import NetworkSpec
     from ..power.accounting import EnergyAccountant
@@ -96,9 +98,12 @@ class SimSession:
         keep_segments: bool = True,
         validate: bool = True,
         governor: Optional["Governor"] = None,
+        faults: Optional["FaultPlan"] = None,
     ):
         from ..cluster.specs import ClusterSpec
         from ..cluster.topology import Cluster
+        from ..faults.scope import ambient_fault_scope
+        from ..faults.state import FaultState
         from ..network.ibnet import IBNetwork
         from ..network.params import NetworkSpec
         from ..power.accounting import EnergyAccountant
@@ -121,6 +126,18 @@ class SimSession:
         self.power_model: "PowerModel" = PowerModel(power_params)
         self.accountant: "EnergyAccountant" = EnergyAccountant(
             self.cluster, self.power_model, keep_segments=keep_segments
+        )
+        fault_scope = None
+        if faults is None:
+            fault_scope = ambient_fault_scope()
+            if fault_scope is not None:
+                faults = fault_scope.plan
+        #: Live fault-injection state (see :mod:`repro.faults`), or None.
+        #: Bound before the governor so policies always see the perturbed
+        #: machine, never a half-built one.
+        self.faults: Optional["FaultState"] = (
+            FaultState(faults, self, scope=fault_scope)
+            if faults is not None else None
         )
         if governor is None:
             scope = ambient_governor_scope()

@@ -20,9 +20,20 @@ Event types (the ``type`` field of every record)
 ``core.tstate``      a throttle (T-state) transition
                      (``core``, ``node``, ``old``, ``new``)
 ``flow.start``       a bulk transfer entered the fabric
-                     (``flow``: label, ``bytes``, ``links``)
+                     (``flow``: label, ``bytes``, ``links``, ``seq``: the
+                     fabric's admission number — labels repeat across a
+                     run, ``seq`` is unique)
 ``flow.finish``      a bulk transfer completed
-                     (``flow``, ``bytes``, ``start``, ``links``)
+                     (``flow``, ``bytes``, ``start``, ``links``, ``seq``,
+                     ``delivered``: bytes carried, ``duration``: seconds
+                     from start to completion).  Every ``flow.start``
+                     has exactly one ``flow.finish`` with the same
+                     ``seq`` — trace consumers can rely on the pairing
+                     to compute flow lifetimes.
+``fault.*``          the fault-injection layer acted (see repro.faults):
+                     ``fault.plan`` (``spec``) at bind, ``fault.link``
+                     (``links``, ``factor``) per capacity event,
+                     ``fault.noise`` (``core``, ``pulses``) per insertion
 ``mark``             free-form annotation from model code
                      (``name`` plus arbitrary extra fields)
 
@@ -87,13 +98,20 @@ class Tracer:
                   old=old, new=new)
 
     def flow_start(self, t: float, label: str, nbytes: float,
-                   links: List[str]) -> None:
-        self.emit(t, "flow.start", flow=label, bytes=nbytes, links=links)
+                   links: List[str], seq: int = -1) -> None:
+        self.emit(t, "flow.start", flow=label, bytes=nbytes, links=links,
+                  seq=seq)
 
     def flow_finish(self, t: float, label: str, nbytes: float,
-                    started: float, links: List[str]) -> None:
+                    started: float, links: List[str], seq: int = -1,
+                    delivered: Optional[float] = None) -> None:
         self.emit(t, "flow.finish", flow=label, bytes=nbytes,
-                  start=started, links=links)
+                  start=started, links=links, seq=seq,
+                  delivered=nbytes if delivered is None else delivered,
+                  duration=t - started)
+
+    def fault(self, t: float, kind: str, **data: Any) -> None:
+        self.emit(t, f"fault.{kind}", **data)
 
     def mark(self, t: float, name: str, **data: Any) -> None:
         self.emit(t, "mark", name=name, **data)

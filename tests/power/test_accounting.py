@@ -125,3 +125,46 @@ def test_meter_empty_window(cluster):
     assert len(trace) == 0
     assert trace.mean_power_w() == 0.0
     assert trace.peak_power_w() == 0.0
+
+
+def test_detach_stops_accumulation(cluster):
+    acct = EnergyAccountant(cluster)
+    core = cluster.cores[0]
+    core.set_activity(Activity.COMPUTE, 1.0)
+    acct.detach()
+    assert acct.detached
+    # Post-detach mutations no longer reach the accountant...
+    core.set_activity(Activity.IDLE, 2.0)
+    acct.finalize(3.0)
+    # ...so core 0 shows exactly one recorded split (at t=1.0).
+    splits = [s for s in acct.segments if s.core_id == core.core_id]
+    assert [s.start for s in splits] == [0.0, 1.0]
+    acct.detach()  # idempotent
+
+
+def test_finalized_accountant_rejects_late_mutations(cluster):
+    acct = EnergyAccountant(cluster)
+    acct.finalize(5.0)
+    with pytest.raises(RuntimeError, match="finalized at t=5.0"):
+        cluster.cores[0].set_activity(Activity.COMPUTE, 6.0)
+
+
+def test_cluster_reuse_after_detach(cluster):
+    """Two back-to-back accountants over one cluster stay independent."""
+    first = EnergyAccountant(cluster)
+    cluster.cores[0].set_activity(Activity.COMPUTE, 1.0)
+    first.finalize(2.0)
+    first_total = first.total_energy_j()
+    first.detach()
+
+    second = EnergyAccountant(cluster, start_time=2.0)
+    cluster.cores[0].set_activity(Activity.IDLE, 3.0)
+    second.finalize(4.0)
+    # The first accountant's books are closed and unchanged.
+    assert first.total_energy_j() == first_total
+    assert second.total_energy_j() > 0
+
+
+def test_remove_listener_unknown_raises(cluster):
+    with pytest.raises(ValueError):
+        cluster.remove_listener(lambda now, core, field, old, new: None)

@@ -91,3 +91,23 @@ def test_monitor_summary_is_json_shaped():
     assert summary["calls_observed"] == 1
     (key,) = summary["call_history"]
     assert key.startswith("bcast/2^")
+
+
+def test_ewma_ignores_nan_and_clamps_negative():
+    e = EwmaEstimator(alpha=0.5)
+    e.update(4.0)
+    assert e.update(float("nan")) == 4.0  # dropped, value unchanged
+    assert e.count == 1
+    e.update(-8.0)  # clamped to zero, not propagated
+    assert e.value == pytest.approx(2.0)
+    assert e.count == 2
+
+
+def test_histogram_drops_nan_and_clamps_negative():
+    h = Log2Histogram()
+    h.record(float("nan"))
+    assert h.count == 0
+    h.record(-1.0)  # clamped into the sub-microsecond bin
+    assert h.count == 1
+    assert h.total_s == 0.0
+    assert h.summary() == {"<1us": 1}

@@ -3,6 +3,8 @@
 import io
 import json
 
+import pytest
+
 from repro.sim import Environment, NullTracer, RecordingTracer
 from repro.sim.trace import (
     NULL_TRACER,
@@ -55,9 +57,10 @@ def test_typed_helpers_build_schema_records():
     tracer.core_activity(1.0, 3, 0, "idle", "compute")
     tracer.power_state(2.0, 3, 0, "frequency", 2.4, 1.6)
     tracer.power_state(3.0, 3, 0, "tstate", 0, 7)
-    tracer.flow_start(4.0, "f0", 1e6, ["a", "b"])
-    tracer.flow_finish(5.0, "f0", 1e6, 4.0, ["a", "b"])
-    tracer.mark(6.0, "checkpoint", phase=2)
+    tracer.flow_start(4.0, "f0", 1e6, ["a", "b"], seq=17)
+    tracer.flow_finish(5.0, "f0", 1e6, 4.0, ["a", "b"], seq=17)
+    tracer.fault(6.0, "link", links=["a"], factor=0.5)
+    tracer.mark(7.0, "checkpoint", phase=2)
     types = [r.type for r in tracer.records]
     assert types == [
         "core.activity",
@@ -65,10 +68,50 @@ def test_typed_helpers_build_schema_records():
         "core.tstate",
         "flow.start",
         "flow.finish",
+        "fault.link",
         "mark",
     ]
-    assert tracer.of_type("flow.finish")[0].data["start"] == 4.0
-    assert len(tracer) == 6
+    finish = tracer.of_type("flow.finish")[0]
+    assert finish.data["start"] == 4.0
+    assert finish.data["seq"] == 17
+    assert finish.data["delivered"] == 1e6  # defaults to nbytes
+    assert finish.data["duration"] == 1.0
+    assert tracer.of_type("flow.start")[0].data["seq"] == 17
+    assert tracer.of_type("fault.link")[0].data["factor"] == 0.5
+    assert len(tracer) == 7
+
+
+def test_flow_finish_explicit_delivered():
+    tracer = RecordingTracer()
+    tracer.flow_finish(5.0, "f0", 1e6, 4.5, ["a"], seq=2, delivered=5e5)
+    assert tracer.of_type("flow.finish")[0].data["delivered"] == 5e5
+
+
+def test_flow_records_pair_one_to_one():
+    """Every flow.start in a real run has exactly one flow.finish with a
+    matching admission seq, full delivery, and a consistent duration."""
+    from repro.mpi import MpiJob
+    from repro.sim import SimSession
+
+    tracer = RecordingTracer()
+    session = SimSession(tracer=tracer)
+    job = MpiJob(64, session=session)
+
+    def program(ctx):
+        yield from ctx.alltoall(64 << 10)
+        yield from ctx.bcast(16 << 10)
+
+    job.run(program)
+    starts = {r.data["seq"]: r for r in tracer.of_type("flow.start")}
+    finishes = tracer.of_type("flow.finish")
+    assert starts and len(finishes) == len(starts)
+    for fin in finishes:
+        start = starts.pop(fin.data["seq"])  # KeyError = orphan/duplicate
+        assert fin.data["delivered"] == start.data["bytes"]
+        assert fin.data["start"] == start.t
+        assert fin.data["duration"] == pytest.approx(fin.t - start.t)
+        assert fin.data["duration"] > 0
+    assert not starts  # no flow started without finishing
 
 
 def test_jsonl_tracer_writes_one_record_per_line(tmp_path):

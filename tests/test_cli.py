@@ -106,3 +106,48 @@ def test_experiment_profile_flag_reports(capsys):
     assert code == 0
     assert "self-profile" in text
     assert "kernel events" in text
+
+
+def test_governor_theta_must_be_positive():
+    with pytest.raises(SystemExit, match="governor-theta"):
+        run_cli(
+            "osu", "alltoall", "--size", "4K",
+            "--governor", "countdown", "--governor-theta", "-5",
+        )
+
+
+def test_fault_seed_requires_faults():
+    with pytest.raises(SystemExit, match="--fault-seed requires --faults"):
+        run_cli("osu", "latency", "--size", "4K", "--fault-seed", "3")
+
+
+def test_fault_seed_must_be_non_negative():
+    with pytest.raises(SystemExit, match="non-negative"):
+        run_cli(
+            "osu", "latency", "--size", "4K",
+            "--faults", "noise", "--fault-seed", "-1",
+        )
+
+
+def test_bad_fault_spec_named_in_error():
+    with pytest.raises(SystemExit, match="bad --faults spec.*cosmic"):
+        run_cli("osu", "latency", "--size", "4K", "--faults", "cosmic:rays=1")
+
+
+def test_faults_flag_end_to_end():
+    code, text = run_cli(
+        "osu", "alltoall", "--size", "16K",
+        "--faults", "degrade:factor=0.5;noise:period=1ms,pulse=25us",
+        "--fault-seed", "3",
+    )
+    assert code == 0
+    assert "faults[seed=3]" in text
+    assert "link events" in text
+
+
+def test_faults_runs_are_reproducible():
+    spec = ("osu", "alltoall", "--size", "16K",
+            "--faults", "straggler:mult=1.4;jitter:lo=0.8,hi=1.2")
+    _, a = run_cli(*spec)
+    _, b = run_cli(*spec)
+    assert a == b

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.network",
     "repro.power",
     "repro.mpi",
+    "repro.faults",
     "repro.runtime",
     "repro.collectives",
     "repro.models",
