@@ -5,13 +5,34 @@ returns ``(headers, rows, notes)`` ready for
 :func:`repro.bench.report.render_experiment`.  The ``benchmarks/``
 directory wraps each one in a pytest-benchmark target; EXPERIMENTS.md
 records the outcomes.
+
+Cell decomposition
+------------------
+Every experiment is expressed as a :class:`SweepPlan`: a ``plan_*``
+function produces the list of independent
+:class:`~repro.runner.cells.SweepCell` simulation points plus an
+``assemble`` closure that folds their results back into the table rows.
+The public experiment functions keep their exact signatures and run the
+plan through :func:`repro.runner.run_cells`, so they inherit parallel
+execution and result caching whenever the caller configures them (see
+:func:`use_runner`; the CLI's ``--jobs`` / ``--cache-dir`` flags do).
+:data:`CELL_PLANS` maps CLI experiment names to default plan producers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..apps import CPMD_DATASETS, NAS_FT, NAS_IS, run_app
+from ..apps import (
+    CPMD_DATASETS,
+    CPMD_TA_INP_MD,
+    CPMD_WAT32_INP1,
+    CPMD_WAT32_INP2,
+    NAS_FT,
+    NAS_IS,
+)
 from ..cluster.specs import ClusterSpec, CpuSpec, NodeSpec, ThrottleGranularity
 from ..collectives.registry import CollectiveConfig, CollectiveEngine, PowerMode
 from ..models import (
@@ -23,7 +44,7 @@ from ..models import (
 )
 from ..mpi.job import JobResult, MpiJob
 from ..mpi.p2p import ProgressMode
-from ..power.meter import PowerMeter, PowerTrace
+from ..runner import CellResult, SweepCell, execute_cell, run_cells
 from .report import bytes_label
 
 #: Message sweep of the power figures (7a, 8a; paper x-axis 16K–1M).
@@ -74,61 +95,173 @@ def run_collective_loop(
     return job.run(program)
 
 
-def _mean_latency_us(result: JobResult, iterations: int) -> float:
+def _mean_latency_us(result, iterations: int) -> float:
     return result.duration_s / iterations * 1e6
+
+
+# =====================================================================
+# Sweep plans: cells + assembly
+# =====================================================================
+@dataclass
+class SweepPlan:
+    """An experiment as data: independent cells + a fold to table rows."""
+
+    cells: List[SweepCell]
+    assemble: Callable[[List[CellResult]], Tuple[List, List, str]]
+
+
+#: Ambient runner configuration installed by :func:`use_runner` (the CLI
+#: scope); empty = inline execution, in-process memo only.
+_RUNNER_CFG: Dict[str, Any] = {}
+
+
+@contextlib.contextmanager
+def use_runner(jobs=None, cache=None, refresh: bool = False, stats=None):
+    """Route every experiment run inside the scope through the parallel
+    executor / result cache with these settings."""
+    global _RUNNER_CFG
+    prev = _RUNNER_CFG
+    _RUNNER_CFG = {"jobs": jobs, "cache": cache, "refresh": refresh, "stats": stats}
+    try:
+        yield
+    finally:
+        _RUNNER_CFG = prev
+
+
+def _instrumentation_active() -> bool:
+    """True when an ambient --trace/--governor/--faults scope is live.
+
+    Cells are only pure *without* ambient scopes: a memoised result would
+    skip the per-run governor/fault reports the scope collects.  Plans
+    then execute directly, one fresh simulation per cell, like the
+    pre-cell code did.
+    """
+    from ..faults.scope import ambient_fault_scope
+    from ..runtime.governor import ambient_governor_scope
+    from ..sim.trace import default_tracer
+
+    return (
+        default_tracer().enabled
+        or ambient_governor_scope() is not None
+        or ambient_fault_scope() is not None
+    )
+
+
+def _run_plan(plan: SweepPlan):
+    if _instrumentation_active():
+        results = [execute_cell(cell) for cell in plan.cells]
+    else:
+        results = run_cells(plan.cells, **_RUNNER_CFG)
+    return plan.assemble(results)
+
+
+def _collective_cell(
+    experiment: str,
+    op: str,
+    nbytes: int,
+    n_ranks: int,
+    mode: PowerMode = PowerMode.NONE,
+    iterations: int = 1,
+    progress: ProgressMode = ProgressMode.POLLING,
+    cluster_spec: Optional[ClusterSpec] = None,
+    keep_segments: bool = False,
+    label: str = "",
+    **extra,
+) -> SweepCell:
+    params: Dict[str, Any] = {
+        "op": op,
+        "nbytes": nbytes,
+        "n_ranks": n_ranks,
+        "mode": mode.value,
+        "iterations": iterations,
+        "progress": progress.value,
+        "keep_segments": keep_segments,
+    }
+    if cluster_spec is not None:
+        params["cluster"] = cluster_spec.to_dict()
+    params.update({k: v for k, v in extra.items() if v is not None})
+    return SweepCell(
+        experiment=experiment,
+        kind="collective",
+        params=params,
+        label=label or f"{op}/{bytes_label(nbytes)}/{mode.value}",
+    )
 
 
 # =====================================================================
 # Figure 2
 # =====================================================================
-def fig2a_alltoall_scaling(sizes: Sequence[int] = FIG2A_SIZES, iterations: int = 1):
-    """Fig 2(a): 32-process alltoall, 4-way vs 8-way vs eq-(1) estimate."""
+def plan_fig2a(sizes: Sequence[int] = FIG2A_SIZES, iterations: int = 1) -> SweepPlan:
     spec_4way = ClusterSpec.with_shape(nodes=8, sockets=2, cores_per_socket=2)
     spec_8way = ClusterSpec.with_shape(nodes=4, sockets=2, cores_per_socket=4)
-    rows: List[Tuple] = []
+    cells = []
     for nbytes in sizes:
-        t4 = run_collective_loop(
-            "alltoall", nbytes, 32, iterations=iterations,
-            cluster_spec=spec_4way, keep_segments=False,
-        )
-        t8 = run_collective_loop(
-            "alltoall", nbytes, 32, iterations=iterations,
-            cluster_spec=spec_8way, keep_segments=False,
-        )
-        theory = t_alltoall_pairwise(
-            8, 4, nbytes, ModelParams.contended(4)
-        )
-        rows.append(
-            (
-                bytes_label(nbytes),
-                _mean_latency_us(t4, iterations),
-                _mean_latency_us(t8, iterations),
-                theory * 1e6,
+        for way, spec in (("4way", spec_4way), ("8way", spec_8way)):
+            cells.append(
+                _collective_cell(
+                    "fig2a", "alltoall", nbytes, 32, iterations=iterations,
+                    cluster_spec=spec,
+                    label=f"alltoall/{bytes_label(nbytes)}/{way}",
+                )
             )
+
+    def assemble(results):
+        rows: List[Tuple] = []
+        for i, nbytes in enumerate(sizes):
+            t4, t8 = results[2 * i], results[2 * i + 1]
+            theory = t_alltoall_pairwise(8, 4, nbytes, ModelParams.contended(4))
+            rows.append(
+                (
+                    bytes_label(nbytes),
+                    _mean_latency_us(t4, iterations),
+                    _mean_latency_us(t8, iterations),
+                    theory * 1e6,
+                )
+            )
+        headers = [
+            "Size", "Alltoall-4way (us)", "Alltoall-8way (us)", "Theoretical (us)",
+        ]
+        notes = (
+            "Paper: same 32-process job is ~54% slower in the 8-way layout due\n"
+            "to HCA contention; the theoretical line is equation (1) with Cnet=4."
         )
-    headers = ["Size", "Alltoall-4way (us)", "Alltoall-8way (us)", "Theoretical (us)"]
-    notes = (
-        "Paper: same 32-process job is ~54% slower in the 8-way layout due\n"
-        "to HCA contention; the theoretical line is equation (1) with Cnet=4."
-    )
-    return headers, rows, notes
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
-def _phase_experiment(op: str, phase_key: str, sizes: Sequence[int], n_ranks: int = 64):
-    rows = []
-    for nbytes in sizes:
-        r = run_collective_loop(op, nbytes, n_ranks, keep_segments=False)
-        net = r.stats.phase_times.get(phase_key, 0.0)
-        rows.append(
-            (bytes_label(nbytes), r.duration_s * 1e6, net * 1e6, net / r.duration_s)
-        )
-    headers = ["Size", "Overall (us)", "Network phase (us)", "Net fraction"]
-    return headers, rows
+def fig2a_alltoall_scaling(sizes: Sequence[int] = FIG2A_SIZES, iterations: int = 1):
+    """Fig 2(a): 32-process alltoall, 4-way vs 8-way vs eq-(1) estimate."""
+    return _run_plan(plan_fig2a(sizes, iterations))
+
+
+def _plan_phases(experiment: str, op: str, phase_key: str,
+                 sizes: Sequence[int], n_ranks: int = 64) -> SweepPlan:
+    cells = [
+        _collective_cell(experiment, op, nbytes, n_ranks) for nbytes in sizes
+    ]
+
+    def assemble(results):
+        rows = []
+        for nbytes, r in zip(sizes, results):
+            net = r.phase_times.get(phase_key, 0.0)
+            rows.append(
+                (bytes_label(nbytes), r.duration_s * 1e6, net * 1e6,
+                 net / r.duration_s)
+            )
+        headers = ["Size", "Overall (us)", "Network phase (us)", "Net fraction"]
+        return headers, rows, ""
+
+    return SweepPlan(cells, assemble)
+
+
+def plan_fig2b(sizes: Sequence[int] = FIG2B_SIZES) -> SweepPlan:
+    return _plan_phases("fig2b", "bcast", "bcast.network", sizes)
 
 
 def fig2b_bcast_phases(sizes: Sequence[int] = FIG2B_SIZES):
     """Fig 2(b): bcast total time vs its inter-leader network phase."""
-    headers, rows = _phase_experiment("bcast", "bcast.network", sizes)
+    headers, rows, _ = _run_plan(plan_fig2b(sizes))
     notes = (
         "Paper: the network phase accounts for most of the bcast time while\n"
         "only one rank per node communicates — the rest poll (waste power)."
@@ -136,9 +269,13 @@ def fig2b_bcast_phases(sizes: Sequence[int] = FIG2B_SIZES):
     return headers, rows, notes
 
 
+def plan_fig2c(sizes: Sequence[int] = FIG2C_SIZES) -> SweepPlan:
+    return _plan_phases("fig2c", "reduce", "reduce.network", sizes)
+
+
 def fig2c_reduce_phases(sizes: Sequence[int] = FIG2C_SIZES):
     """Fig 2(c): reduce total time vs its network phase."""
-    headers, rows = _phase_experiment("reduce", "reduce.network", sizes)
+    headers, rows, _ = _run_plan(plan_fig2c(sizes))
     notes = "Same observation as Fig 2(b) for MPI_Reduce."
     return headers, rows, notes
 
@@ -146,108 +283,156 @@ def fig2c_reduce_phases(sizes: Sequence[int] = FIG2C_SIZES):
 # =====================================================================
 # Figure 6: polling vs blocking
 # =====================================================================
+def plan_fig6a(sizes: Sequence[int] = POWER_FIG_SIZES, iterations: int = 1) -> SweepPlan:
+    cells = []
+    for nbytes in sizes:
+        for progress in (ProgressMode.POLLING, ProgressMode.BLOCKING):
+            cells.append(
+                _collective_cell(
+                    "fig6a", "alltoall", nbytes, 64, iterations=iterations,
+                    progress=progress,
+                    label=f"alltoall/{bytes_label(nbytes)}/{progress.value}",
+                )
+            )
+
+    def assemble(results):
+        rows = []
+        for i, nbytes in enumerate(sizes):
+            t_poll, t_block = results[2 * i], results[2 * i + 1]
+            rows.append(
+                (
+                    bytes_label(nbytes),
+                    _mean_latency_us(t_poll, iterations),
+                    _mean_latency_us(t_block, iterations),
+                    t_block.duration_s / t_poll.duration_s,
+                )
+            )
+        headers = ["Size", "Polling (us)", "Blocking (us)", "Blocking/Polling"]
+        notes = "Paper: blocking is ~2x slower at large sizes (Fig 6a)."
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
+
+
 def fig6a_polling_vs_blocking(sizes: Sequence[int] = POWER_FIG_SIZES, iterations: int = 1):
     """Fig 6(a): 64-process alltoall latency, polling vs blocking."""
-    rows = []
-    for nbytes in sizes:
-        t_poll = run_collective_loop(
-            "alltoall", nbytes, 64, iterations=iterations, keep_segments=False
+    return _run_plan(plan_fig6a(sizes, iterations))
+
+
+def plan_fig6b(
+    nbytes: int = 256 << 10, iterations: int = 10, interval_s: float = 0.1
+) -> SweepPlan:
+    cells = [
+        _collective_cell(
+            "fig6b", "alltoall", nbytes, 64, iterations=iterations,
+            progress=progress, keep_segments=True,
+            power_trace_interval_s=interval_s,
+            label=f"alltoall/{bytes_label(nbytes)}/{progress.value}/trace",
         )
-        t_block = run_collective_loop(
-            "alltoall", nbytes, 64, iterations=iterations,
-            progress=ProgressMode.BLOCKING, keep_segments=False,
-        )
-        rows.append(
+        for progress in (ProgressMode.POLLING, ProgressMode.BLOCKING)
+    ]
+
+    def assemble(results):
+        traces = [r.extra["power_trace"] for r in results]
+        n = min(len(t["times_s"]) for t in traces)
+        rows = [
             (
-                bytes_label(nbytes),
-                _mean_latency_us(t_poll, iterations),
-                _mean_latency_us(t_block, iterations),
-                t_block.duration_s / t_poll.duration_s,
+                f"{traces[0]['times_s'][i]:.2f}",
+                traces[0]["power_kw"][i],
+                traces[1]["power_kw"][i],
             )
-        )
-    headers = ["Size", "Polling (us)", "Blocking (us)", "Blocking/Polling"]
-    notes = "Paper: blocking is ~2x slower at large sizes (Fig 6a)."
-    return headers, rows, notes
+            for i in range(n)
+        ]
+        headers = ["t (s)", "Polling (kW)", "Blocking (kW)"]
+        notes = "Paper: polling draws ~2.3 kW, blocking dips to ~1.8-2.0 kW."
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def fig6b_power_timeline(
     nbytes: int = 256 << 10, iterations: int = 10, interval_s: float = 0.1
 ):
     """Fig 6(b): sampled system power while the alltoall loop runs."""
-    rows = []
-    traces: Dict[str, PowerTrace] = {}
-    for label, progress in (
-        ("Polling", ProgressMode.POLLING),
-        ("Blocking", ProgressMode.BLOCKING),
-    ):
-        r = run_collective_loop(
-            "alltoall", nbytes, 64, iterations=iterations, progress=progress
-        )
-        traces[label] = PowerMeter(interval_s).sample(r.accountant)
-    n = min(len(traces["Polling"]), len(traces["Blocking"]))
-    for i in range(n):
-        rows.append(
-            (
-                f"{traces['Polling'].times_s[i]:.2f}",
-                traces["Polling"].power_kw[i],
-                traces["Blocking"].power_kw[i],
-            )
-        )
-    headers = ["t (s)", "Polling (kW)", "Blocking (kW)"]
-    notes = "Paper: polling draws ~2.3 kW, blocking dips to ~1.8-2.0 kW."
-    return headers, rows, notes
+    return _run_plan(plan_fig6b(nbytes, iterations, interval_s))
 
 
 # =====================================================================
 # Figures 7 & 8: the three schemes
 # =====================================================================
-def _three_scheme_latency(op: str, sizes: Sequence[int], iterations: int = 1):
-    rows = []
-    for nbytes in sizes:
-        latencies = []
-        for mode in MODES:
-            r = run_collective_loop(
-                op, nbytes, 64, mode=mode, iterations=iterations, keep_segments=False
-            )
-            latencies.append(_mean_latency_us(r, iterations))
-        overhead = latencies[2] / latencies[0] - 1.0
-        rows.append((bytes_label(nbytes), *latencies, overhead))
-    headers = [
-        "Size",
-        "No-Power (us)",
-        "Freq-Scaling (us)",
-        "Proposed (us)",
-        "Proposed overhead",
+def _plan_three_scheme_latency(
+    experiment: str, op: str, sizes: Sequence[int], iterations: int = 1
+) -> SweepPlan:
+    cells = [
+        _collective_cell(experiment, op, nbytes, 64, mode=mode,
+                         iterations=iterations)
+        for nbytes in sizes
+        for mode in MODES
     ]
-    return headers, rows
+
+    def assemble(results):
+        rows = []
+        for i, nbytes in enumerate(sizes):
+            latencies = [
+                _mean_latency_us(results[3 * i + j], iterations) for j in range(3)
+            ]
+            overhead = latencies[2] / latencies[0] - 1.0
+            rows.append((bytes_label(nbytes), *latencies, overhead))
+        headers = [
+            "Size",
+            "No-Power (us)",
+            "Freq-Scaling (us)",
+            "Proposed (us)",
+            "Proposed overhead",
+        ]
+        return headers, rows, ""
+
+    return SweepPlan(cells, assemble)
 
 
-def _three_scheme_power(op: str, nbytes: int, iterations: int, interval_s: float):
-    rows = []
-    means = []
-    traces = []
-    for mode in MODES:
-        r = run_collective_loop(op, nbytes, 64, mode=mode, iterations=iterations)
-        trace = PowerMeter(interval_s).sample(r.accountant)
-        traces.append(trace)
-        means.append(trace.mean_power_w())
-    n = min(len(t) for t in traces)
-    for i in range(n):
-        rows.append(
-            (
-                f"{traces[0].times_s[i]:.2f}",
-                traces[0].power_kw[i],
-                traces[1].power_kw[i],
-                traces[2].power_kw[i],
-            )
+def _plan_three_scheme_power(
+    experiment: str, op: str, nbytes: int, iterations: int, interval_s: float
+) -> SweepPlan:
+    cells = [
+        _collective_cell(
+            experiment, op, nbytes, 64, mode=mode, iterations=iterations,
+            keep_segments=True, power_trace_interval_s=interval_s,
+            label=f"{op}/{bytes_label(nbytes)}/{mode.value}/trace",
         )
-    headers = ["t (s)", "No-Power (kW)", "Freq-Scaling (kW)", "Proposed (kW)"]
-    return headers, rows, means
+        for mode in MODES
+    ]
+
+    def assemble(results):
+        traces = [r.extra["power_trace"] for r in results]
+        means = [t["mean_power_w"] for t in traces]
+        n = min(len(t["times_s"]) for t in traces)
+        rows = [
+            (
+                f"{traces[0]['times_s'][i]:.2f}",
+                traces[0]["power_kw"][i],
+                traces[1]["power_kw"][i],
+                traces[2]["power_kw"][i],
+            )
+            for i in range(n)
+        ]
+        headers = ["t (s)", "No-Power (kW)", "Freq-Scaling (kW)", "Proposed (kW)"]
+        notes = (
+            f"Mean power: No-Power {means[0]/1e3:.2f} kW, Freq-Scaling "
+            f"{means[1]/1e3:.2f} kW, Proposed {means[2]/1e3:.2f} kW "
+            "(paper: ~2.3 / ~1.8 / ~1.6 kW)."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
+
+
+def plan_fig7a(sizes: Sequence[int] = POWER_FIG_SIZES) -> SweepPlan:
+    return _plan_three_scheme_latency("fig7a", "alltoall", sizes)
 
 
 def fig7a_alltoall_latency(sizes: Sequence[int] = POWER_FIG_SIZES):
     """Fig 7(a): alltoall latency under the three schemes, 64 processes."""
-    headers, rows = _three_scheme_latency("alltoall", sizes)
+    headers, rows, _ = _run_plan(plan_fig7a(sizes))
     notes = (
         "Paper: ~10% gap between default and power-aware; very little\n"
         "difference between Freq-Scaling and Proposed."
@@ -255,15 +440,52 @@ def fig7a_alltoall_latency(sizes: Sequence[int] = POWER_FIG_SIZES):
     return headers, rows, notes
 
 
+def plan_fig7b(
+    nbytes: int = 1 << 20, iterations: int = 8, interval_s: float = 0.25
+) -> SweepPlan:
+    return _plan_three_scheme_power("fig7b", "alltoall", nbytes, iterations, interval_s)
+
+
 def fig7b_alltoall_power(nbytes: int = 1 << 20, iterations: int = 8, interval_s: float = 0.25):
     """Fig 7(b): sampled power during the alltoall loop."""
-    headers, rows, means = _three_scheme_power("alltoall", nbytes, iterations, interval_s)
-    notes = (
-        f"Mean power: No-Power {means[0]/1e3:.2f} kW, Freq-Scaling "
-        f"{means[1]/1e3:.2f} kW, Proposed {means[2]/1e3:.2f} kW "
-        "(paper: ~2.3 / ~1.8 / ~1.6 kW)."
-    )
-    return headers, rows, notes
+    return _run_plan(plan_fig7b(nbytes, iterations, interval_s))
+
+
+def plan_alltoallv(sizes: Sequence[int] = POWER_FIG_SIZES) -> SweepPlan:
+    cells = [
+        SweepCell(
+            experiment="alltoallv",
+            kind="alltoallv",
+            params={
+                "nbytes": nbytes,
+                "n_ranks": 64,
+                "mode": mode.value,
+                "keep_segments": False,
+            },
+            label=f"alltoallv/{bytes_label(nbytes)}/{mode.value}",
+        )
+        for nbytes in sizes
+        for mode in MODES
+    ]
+
+    def assemble(results):
+        rows = []
+        for i, nbytes in enumerate(sizes):
+            latencies = [results[3 * i + j].duration_s * 1e6 for j in range(3)]
+            rows.append(
+                (bytes_label(nbytes), *latencies, latencies[2] / latencies[0] - 1.0)
+            )
+        headers = [
+            "Mean size",
+            "No-Power (us)",
+            "Freq-Scaling (us)",
+            "Proposed (us)",
+            "Proposed overhead",
+        ]
+        notes = "Paper §VII-D: Alltoallv behaves like Alltoall under all schemes."
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def alltoallv_power(sizes: Sequence[int] = POWER_FIG_SIZES):
@@ -271,102 +493,104 @@ def alltoallv_power(sizes: Sequence[int] = POWER_FIG_SIZES):
 
     Uses deterministically skewed per-peer counts (±15 % around the mean)
     so the vector path is genuinely exercised."""
-    rows = []
-    for nbytes in sizes:
-        latencies = []
-        for mode in MODES:
-            job = MpiJob(64, collectives=_engine(mode), keep_segments=False)
+    return _run_plan(plan_alltoallv(sizes))
 
-            def program(ctx, nbytes=nbytes):
-                counts = [
-                    max(0, int(nbytes * (1 + 0.15 * (((ctx.rank + d) % 7 - 3) / 3))))
-                    for d in range(ctx.size)
-                ]
-                yield from ctx.alltoallv(counts)
 
-            latencies.append(job.run(program).duration_s * 1e6)
-        rows.append(
-            (bytes_label(nbytes), *latencies, latencies[2] / latencies[0] - 1.0)
-        )
-    headers = [
-        "Mean size",
-        "No-Power (us)",
-        "Freq-Scaling (us)",
-        "Proposed (us)",
-        "Proposed overhead",
-    ]
-    notes = "Paper §VII-D: Alltoallv behaves like Alltoall under all schemes."
-    return headers, rows, notes
+def plan_fig8a(sizes: Sequence[int] = POWER_FIG_SIZES) -> SweepPlan:
+    return _plan_three_scheme_latency("fig8a", "bcast", sizes, iterations=4)
 
 
 def fig8a_bcast_latency(sizes: Sequence[int] = POWER_FIG_SIZES):
     """Fig 8(a): bcast latency under the three schemes, 64 processes."""
-    headers, rows = _three_scheme_latency("bcast", sizes, iterations=4)
+    headers, rows, _ = _run_plan(plan_fig8a(sizes))
     notes = "Paper: ~15% overhead at 1MB; power variants nearly identical."
     return headers, rows, notes
 
 
+def plan_fig8b(
+    nbytes: int = 1 << 20, iterations: int = 600, interval_s: float = 0.25
+) -> SweepPlan:
+    return _plan_three_scheme_power("fig8b", "bcast", nbytes, iterations, interval_s)
+
+
 def fig8b_bcast_power(nbytes: int = 1 << 20, iterations: int = 600, interval_s: float = 0.25):
     """Fig 8(b): sampled power during the bcast loop."""
-    headers, rows, means = _three_scheme_power("bcast", nbytes, iterations, interval_s)
-    notes = (
-        f"Mean power: No-Power {means[0]/1e3:.2f} kW, Freq-Scaling "
-        f"{means[1]/1e3:.2f} kW, Proposed {means[2]/1e3:.2f} kW "
-        "(paper: ~2.3 / ~1.8 / ~1.6 kW)."
-    )
-    return headers, rows, notes
+    return _run_plan(plan_fig8b(nbytes, iterations, interval_s))
 
 
 # =====================================================================
 # Figures 9 & 10 and Tables I & II: applications
 # =====================================================================
-#: Memo for app runs: the figure and table of the same section share the
-#: same 18 simulations (runs are deterministic, so caching is exact).
-_APP_RUN_CACHE: Dict[Tuple[str, int, PowerMode], object] = {}
+#: Registry keys of :data:`repro.runner.APP_SPECS` by app name — cells
+#: carry the key, never the AppSpec object.
+_APP_KEYS = {
+    NAS_FT.name: "nas-ft",
+    NAS_IS.name: "nas-is",
+    CPMD_WAT32_INP1.name: "cpmd-wat1",
+    CPMD_WAT32_INP2.name: "cpmd-wat2",
+    CPMD_TA_INP_MD.name: "cpmd-ta",
+}
 
 
-def _run_app_cached(app, n_ranks: int, mode: PowerMode):
-    key = (app.name, n_ranks, mode)
-    if key not in _APP_RUN_CACHE:
-        _APP_RUN_CACHE[key] = run_app(app, n_ranks, mode)
-    return _APP_RUN_CACHE[key]
+def _app_cell(experiment: str, app, ranks: int, mode: PowerMode,
+              governor=None, scheme: str = "") -> SweepCell:
+    params: Dict[str, Any] = {
+        "app": _APP_KEYS[app.name],
+        "ranks": ranks,
+        "mode": mode.value,
+    }
+    if governor is not None:
+        params["governor"] = governor
+    return SweepCell(
+        experiment=experiment,
+        kind="app",
+        params=params,
+        label=f"{app.name}/{ranks}r/{scheme or mode.value}",
+    )
 
 
-def _app_rows(apps: Iterable, ranks=(32, 64)):
-    perf_rows = []
-    energy_rows = []
-    for app in apps:
-        for n in ranks:
-            latencies = []
-            energies = []
-            for mode in MODES:
-                r = _run_app_cached(app, n, mode)
-                latencies.append(r)
-                energies.append(r.energy_kj)
-            perf_rows.append(
-                (
-                    app.name,
-                    n,
-                    MODE_LABELS[PowerMode.NONE],
-                    latencies[0].total_time_s,
-                    latencies[0].alltoall_time_s,
+def _plan_apps(experiment: str, apps: Iterable, ranks=(32, 64)) -> SweepPlan:
+    """The shared fig9/10 + table I/II sweep: apps × ranks × schemes.
+
+    The figure and table of the same section share the same 18 cells —
+    identical content hashes, so the runner executes each once."""
+    apps = tuple(apps)
+    cells = [
+        _app_cell(experiment, app, n, mode)
+        for app in apps
+        for n in ranks
+        for mode in MODES
+    ]
+
+    def assemble(results):
+        perf_rows = []
+        energy_rows = []
+        i = 0
+        for app in apps:
+            for n in ranks:
+                group = results[i:i + 3]
+                i += 3
+                for mode, r in zip(MODES, group):
+                    perf_rows.append(
+                        (
+                            app.name,
+                            n,
+                            MODE_LABELS[mode],
+                            r.app["total_time_s"],
+                            r.app["alltoall_time_s"],
+                        )
+                    )
+                energy_rows.append(
+                    (app.name, n, *[r.app["energy_kj"] for r in group])
                 )
-            )
-            perf_rows.append(
-                (app.name, n, MODE_LABELS[PowerMode.DVFS],
-                 latencies[1].total_time_s, latencies[1].alltoall_time_s)
-            )
-            perf_rows.append(
-                (app.name, n, MODE_LABELS[PowerMode.PROPOSED],
-                 latencies[2].total_time_s, latencies[2].alltoall_time_s)
-            )
-            energy_rows.append((app.name, n, *energies))
-    return perf_rows, energy_rows
+        return perf_rows, energy_rows, ""
+
+    return SweepPlan(cells, assemble)
 
 
 def fig9_cpmd_performance():
     """Fig 9: CPMD total and alltoall time, 32/64 processes, 3 datasets."""
-    perf_rows, _ = _app_rows(CPMD_DATASETS)
+    perf_rows, _, _ = _run_plan(_plan_apps("fig9", CPMD_DATASETS))
     headers = ["Dataset", "Procs", "Scheme", "Total (s)", "Alltoall (s)"]
     notes = (
         "Paper: runtime halves from 32 to 64 processes while alltoall time\n"
@@ -377,7 +601,7 @@ def fig9_cpmd_performance():
 
 def table1_cpmd_energy():
     """Table I: CPMD energy (kJ) under the three schemes."""
-    _, energy_rows = _app_rows(CPMD_DATASETS)
+    _, energy_rows, _ = _run_plan(_plan_apps("table1", CPMD_DATASETS))
     headers = ["Dataset", "Procs", "Default (kJ)", "Freq-Scaling (kJ)", "Proposed (kJ)"]
     notes = "Paper Table I; ~8% saving on ta-inp-md at 64 processes."
     return headers, energy_rows, notes
@@ -385,7 +609,7 @@ def table1_cpmd_energy():
 
 def fig10_nas_performance():
     """Fig 10: NAS FT and IS total + alltoall time."""
-    perf_rows, _ = _app_rows((NAS_FT, NAS_IS))
+    perf_rows, _, _ = _run_plan(_plan_apps("fig10", (NAS_FT, NAS_IS)))
     headers = ["Kernel", "Procs", "Scheme", "Total (s)", "Alltoall (s)"]
     notes = "Paper: same behaviour as CPMD; IS is the most alltoall-bound."
     return headers, perf_rows, notes
@@ -393,7 +617,7 @@ def fig10_nas_performance():
 
 def table2_nas_energy():
     """Table II: NAS energy (kJ) under the three schemes."""
-    _, energy_rows = _app_rows((NAS_FT, NAS_IS))
+    _, energy_rows, _ = _run_plan(_plan_apps("table2", (NAS_FT, NAS_IS)))
     headers = ["Kernel", "Procs", "Default (kJ)", "Freq-Scaling (kJ)", "Proposed (kJ)"]
     notes = "Paper Table II; ~8% saving on IS."
     return headers, energy_rows, notes
@@ -402,93 +626,164 @@ def table2_nas_energy():
 # =====================================================================
 # Model validation & ablations
 # =====================================================================
+def plan_models_validation(nbytes: int = 1 << 20) -> SweepPlan:
+    cells = [
+        _collective_cell("models", "alltoall", nbytes, 64),
+        _collective_cell("models", "bcast", nbytes, 64),
+        _collective_cell("models", "alltoall", nbytes, 64, mode=PowerMode.PROPOSED),
+        _collective_cell("models", "bcast", nbytes, 64, mode=PowerMode.PROPOSED),
+    ]
+
+    def assemble(results):
+        params = ModelParams.contended(8)
+        r, rb, rp, rpb = results
+        rows = [
+            ("eq(1) alltoall", t_alltoall_pairwise(8, 8, nbytes, params) * 1e6,
+             r.duration_s * 1e6),
+            ("eq(2) bcast net x N/2",
+             t_bcast_scatter_allgather(8, nbytes, params) / 4 * 1e6,
+             rb.phase_times["bcast.network"] * 1e6),
+            ("eq(3) power alltoall",
+             t_alltoall_power_aware(8, 8, nbytes, params) * 1e6,
+             rp.duration_s * 1e6),
+            ("eq(4) power bcast x N/2",
+             t_bcast_power_aware(8, nbytes, params) / 4 * 1e6,
+             rpb.duration_s * 1e6),
+        ]
+        headers = ["Model", "Predicted (us)", "Simulated (us)"]
+        notes = (
+            "Closed forms use Cnet=8 (ranks/HCA). The bcast forms are divided\n"
+            "by N/2: the paper's eq counts ring bytes without the 1/N block size\n"
+            "(see tests/models). Agreement within ~2x validates the shapes."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
+
+
 def models_validation(nbytes: int = 1 << 20):
     """Equations (1)-(4) against the simulator at 64 processes."""
-    rows = []
-    params = ModelParams.contended(8)
-    r = run_collective_loop("alltoall", nbytes, 64, keep_segments=False)
-    rows.append(
-        ("eq(1) alltoall", t_alltoall_pairwise(8, 8, nbytes, params) * 1e6,
-         r.duration_s * 1e6)
-    )
-    rb = run_collective_loop("bcast", nbytes, 64, keep_segments=False)
-    rows.append(
-        ("eq(2) bcast net x N/2",
-         t_bcast_scatter_allgather(8, nbytes, params) / 4 * 1e6,
-         rb.stats.phase_times["bcast.network"] * 1e6)
-    )
-    rp = run_collective_loop(
-        "alltoall", nbytes, 64, mode=PowerMode.PROPOSED, keep_segments=False
-    )
-    rows.append(
-        ("eq(3) power alltoall", t_alltoall_power_aware(8, 8, nbytes, params) * 1e6,
-         rp.duration_s * 1e6)
-    )
-    rpb = run_collective_loop(
-        "bcast", nbytes, 64, mode=PowerMode.PROPOSED, keep_segments=False
-    )
-    rows.append(
-        ("eq(4) power bcast x N/2",
-         t_bcast_power_aware(8, nbytes, params) / 4 * 1e6,
-         rpb.duration_s * 1e6)
-    )
-    headers = ["Model", "Predicted (us)", "Simulated (us)"]
-    notes = (
-        "Closed forms use Cnet=8 (ranks/HCA). The bcast forms are divided\n"
-        "by N/2: the paper's eq counts ring bytes without the 1/N block size\n"
-        "(see tests/models). Agreement within ~2x validates the shapes."
-    )
-    return headers, rows, notes
+    return _run_plan(plan_models_validation(nbytes))
+
+
+def plan_ablation_granularity(nbytes: int = 1 << 20) -> SweepPlan:
+    grans = (ThrottleGranularity.SOCKET, ThrottleGranularity.CORE)
+    ops = ("bcast", "alltoall")
+    cells = [
+        _collective_cell(
+            "ablation-granularity", op, nbytes, 64, mode=PowerMode.PROPOSED,
+            cluster_spec=ClusterSpec.with_shape(nodes=8, granularity=gran),
+            iterations=2, keep_segments=True,
+            label=f"{op}/{bytes_label(nbytes)}/{gran.value}",
+        )
+        for gran in grans
+        for op in ops
+    ]
+
+    def assemble(results):
+        rows = []
+        i = 0
+        for gran in grans:
+            for op in ops:
+                r = results[i]
+                i += 1
+                rows.append(
+                    (op, gran.value, r.duration_s / 2 * 1e6, r.average_power_w / 1e3)
+                )
+        headers = ["Op", "Granularity", "Latency (us)", "Avg power (kW)"]
+        notes = (
+            "Paper §V-B: core-granular throttling (future architectures) gives\n"
+            "more savings without slowing the leader."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def ablation_throttle_granularity(nbytes: int = 1 << 20):
     """§V-B discussion: socket- vs core-granular throttling."""
-    rows = []
-    for gran in (ThrottleGranularity.SOCKET, ThrottleGranularity.CORE):
-        spec = ClusterSpec.with_shape(nodes=8, granularity=gran)
-        for op in ("bcast", "alltoall"):
-            r = run_collective_loop(
-                op, nbytes, 64, mode=PowerMode.PROPOSED,
-                cluster_spec=spec, iterations=2,
+    return _run_plan(plan_ablation_granularity(nbytes))
+
+
+def plan_ext_racks(nbytes: int = 1 << 20) -> SweepPlan:
+    spec = ClusterSpec(nodes=16, racks=4)
+    cells = [
+        _collective_cell(
+            "ext-racks", "bcast", nbytes, 128, mode=mode, iterations=4,
+            cluster_spec=spec, keep_segments=True, link_flow_prefix="rack_up",
+            label=f"bcast/{bytes_label(nbytes)}/racks/{mode.value}",
+        )
+        for mode in MODES
+    ]
+
+    def assemble(results):
+        rows = [
+            (
+                MODE_LABELS[mode],
+                r.duration_s / 4 * 1e6,
+                r.average_power_w / 1e3,
+                r.extra["link_flows"],
             )
-            rows.append(
-                (op, gran.value, r.duration_s / 2 * 1e6, r.average_power_w / 1e3)
-            )
-    headers = ["Op", "Granularity", "Latency (us)", "Avg power (kW)"]
-    notes = (
-        "Paper §V-B: core-granular throttling (future architectures) gives\n"
-        "more savings without slowing the leader."
-    )
-    return headers, rows, notes
+            for mode, r in zip(MODES, results)
+        ]
+        headers = ["Scheme", "Latency (us)", "Avg power (kW)", "Uplink flows"]
+        notes = (
+            "Whole racks are throttled while only the 4 rack leaders cross the\n"
+            "spine — the §VIII vision, one hierarchy level above Fig 4."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def extension_rack_topology(nbytes: int = 1 << 20):
     """Paper §VIII future work: rack-aware power-aware broadcast on a
     4-rack / 16-node / 128-core cluster with 2:1 oversubscribed uplinks."""
-    spec = ClusterSpec(nodes=16, racks=4)
-    rows = []
-    for mode in MODES:
-        r = run_collective_loop(
-            "bcast", nbytes, 128, mode=mode, cluster_spec=spec, iterations=4
-        )
-        uplink_flows = sum(
-            n for name, n in r.job.net.fabric.link_flows.items()
-            if name.startswith("rack_up")
-        )
-        rows.append(
-            (
-                MODE_LABELS[mode],
-                r.duration_s / 4 * 1e6,
-                r.average_power_w / 1e3,
-                uplink_flows,
-            )
-        )
-    headers = ["Scheme", "Latency (us)", "Avg power (kW)", "Uplink flows"]
-    notes = (
-        "Whole racks are throttled while only the 4 rack leaders cross the\n"
-        "spine — the §VIII vision, one hierarchy level above Fig 4."
+    return _run_plan(plan_ext_racks(nbytes))
+
+
+def _mixed_cell(experiment: str, sizes: Sequence[int], mode: PowerMode,
+                governor=None, scheme: str = "") -> SweepCell:
+    params: Dict[str, Any] = {
+        "sizes": list(sizes),
+        "n_ranks": 64,
+        "mode": mode.value,
+        "keep_segments": False,
+    }
+    if governor is not None:
+        params["governor"] = governor
+    return SweepCell(
+        experiment=experiment,
+        kind="mixed",
+        params=params,
+        label=f"mixed/{scheme or mode.value}",
     )
-    return headers, rows, notes
+
+
+def plan_ext_adaptive(
+    sizes: Sequence[int] = (16 << 10, 64 << 10, 256 << 10, 1 << 20)
+) -> SweepPlan:
+    all_modes = (*MODES, PowerMode.ADAPTIVE)
+    cells = [_mixed_cell("ext-adaptive", sizes, mode) for mode in all_modes]
+
+    def assemble(results):
+        rows = [
+            (
+                MODE_LABELS.get(mode, "Adaptive"),
+                r.duration_s * 1e3,
+                r.energy_j,
+                r.throttle_transitions,
+            )
+            for mode, r in zip(all_modes, results)
+        ]
+        headers = ["Scheme", "Total (ms)", "Energy (J)", "Throttle ops"]
+        notes = (
+            "Adaptive engages the proposed schedule only when eq (1) predicts\n"
+            "the call amortises the transitions: near-best energy at every mix."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def extension_adaptive_policy(
@@ -496,33 +791,7 @@ def extension_adaptive_policy(
 ):
     """Extension: the ADAPTIVE per-call policy vs the paper's static
     schemes on a mixed-size alltoall workload (one call per size)."""
-    all_modes = (*MODES, PowerMode.ADAPTIVE)
-    rows = []
-    for mode in all_modes:
-        job = MpiJob(64, collectives=_engine(mode), keep_segments=False)
-
-        def program(ctx):
-            for nbytes in sizes:
-                yield from ctx.alltoall(nbytes)
-                # Short broadcasts: engaging power here costs more than it
-                # saves — the case that separates ADAPTIVE from PROPOSED.
-                yield from ctx.bcast(nbytes // 16)
-
-        r = job.run(program)
-        rows.append(
-            (
-                MODE_LABELS.get(mode, "Adaptive"),
-                r.duration_s * 1e3,
-                r.energy_j,
-                r.stats.throttle_transitions,
-            )
-        )
-    headers = ["Scheme", "Total (ms)", "Energy (J)", "Throttle ops"]
-    notes = (
-        "Adaptive engages the proposed schedule only when eq (1) predicts\n"
-        "the call amortises the transitions: near-best energy at every mix."
-    )
-    return headers, rows, notes
+    return _run_plan(plan_ext_adaptive(sizes))
 
 
 # ---------------------------------------------------------------------
@@ -531,6 +800,13 @@ def extension_adaptive_policy(
 #: Governor policies compared against the paper's static schemes.
 GOVERNOR_POLICIES = ("countdown", "predictive")
 GOVERNOR_LABELS = {"countdown": "Countdown", "predictive": "Predictive"}
+
+
+def _governor_params(policy: str) -> Dict[str, Any]:
+    """The plain-data GovernorConfig a governed cell carries."""
+    from ..runtime import GovernorConfig, GovernorPolicy
+
+    return GovernorConfig(policy=GovernorPolicy(policy)).to_dict()
 
 
 def _governed_job(n_ranks: int, policy: str, **job_kwargs):
@@ -549,6 +825,59 @@ def _governed_job(n_ranks: int, policy: str, **job_kwargs):
     return job, gov
 
 
+def plan_ext_governor_alltoall(
+    sizes: Sequence[int] = (64 << 10, 256 << 10, 1 << 20),
+    iterations: int = 3,
+    n_ranks: int = 64,
+) -> SweepPlan:
+    cells = []
+    for nbytes in sizes:
+        for mode in MODES:
+            cells.append(
+                _collective_cell(
+                    "ext-governor-alltoall", "alltoall", nbytes, n_ranks,
+                    mode=mode, iterations=iterations,
+                )
+            )
+        for policy in GOVERNOR_POLICIES:
+            cells.append(
+                _collective_cell(
+                    "ext-governor-alltoall", "alltoall", nbytes, n_ranks,
+                    iterations=iterations, governor=_governor_params(policy),
+                    label=f"alltoall/{bytes_label(nbytes)}/{policy}",
+                )
+            )
+
+    def assemble(results):
+        schemes = [MODE_LABELS[m] for m in MODES] + [
+            GOVERNOR_LABELS[p] for p in GOVERNOR_POLICIES
+        ]
+        rows: List[Tuple] = []
+        per_size = len(schemes)
+        for i, nbytes in enumerate(sizes):
+            for j, scheme in enumerate(schemes):
+                r = results[per_size * i + j]
+                drops = r.governor["drops"] if r.governor is not None else 0
+                rows.append(
+                    (
+                        bytes_label(nbytes),
+                        scheme,
+                        _mean_latency_us(r, iterations),
+                        r.energy_j,
+                        drops,
+                    )
+                )
+        headers = ["Size", "Scheme", "Latency (us)", "Energy (J)", "Drops"]
+        notes = (
+            "Countdown throttles T-states only (the NIC rating follows core\n"
+            "frequency, not duty), so its latency hugs No-Power; predictive\n"
+            "pre-scales to fmin and lands near the Proposed energy point."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
+
+
 def extension_governor_alltoall(
     sizes: Sequence[int] = (64 << 10, 256 << 10, 1 << 20),
     iterations: int = 3,
@@ -557,47 +886,52 @@ def extension_governor_alltoall(
     """Extension: online governor policies vs the paper's static schemes
     on OSU-style alltoall loops (countdown should track No-Power latency
     while shaving wait energy; predictive should track Proposed energy)."""
-    rows: List[Tuple] = []
-    for nbytes in sizes:
-        for mode in MODES:
-            r = run_collective_loop(
-                "alltoall", nbytes, n_ranks, mode=mode,
-                iterations=iterations, keep_segments=False,
-            )
+    return _run_plan(plan_ext_governor_alltoall(sizes, iterations, n_ranks))
+
+
+def plan_ext_governor_mixed(
+    sizes: Sequence[int] = (16 << 10, 64 << 10, 256 << 10, 1 << 20)
+) -> SweepPlan:
+    static_modes = (*MODES, PowerMode.ADAPTIVE)
+    cells = [
+        _mixed_cell("ext-governor-mixed", sizes, mode) for mode in static_modes
+    ] + [
+        _mixed_cell(
+            "ext-governor-mixed", sizes, PowerMode.NONE,
+            governor=_governor_params(policy), scheme=policy,
+        )
+        for policy in GOVERNOR_POLICIES
+    ]
+
+    def assemble(results):
+        rows: List[Tuple] = []
+        for mode, r in zip(static_modes, results):
             rows.append(
                 (
-                    bytes_label(nbytes),
-                    MODE_LABELS[mode],
-                    _mean_latency_us(r, iterations),
+                    MODE_LABELS.get(mode, "Adaptive"),
+                    r.duration_s * 1e3,
                     r.energy_j,
-                    0,
+                    r.dvfs_transitions + r.throttle_transitions,
                 )
             )
-        for policy in GOVERNOR_POLICIES:
-            job, gov = _governed_job(n_ranks, policy)
-
-            def program(ctx):
-                for _ in range(iterations):
-                    yield from ctx.alltoall(nbytes)
-
-            r = job.run(program)
-            report = gov.report()
+        for policy, r in zip(GOVERNOR_POLICIES, results[len(static_modes):]):
             rows.append(
                 (
-                    bytes_label(nbytes),
                     GOVERNOR_LABELS[policy],
-                    _mean_latency_us(r, iterations),
+                    r.duration_s * 1e3,
                     r.energy_j,
-                    report.drops,
+                    r.governor["drops"] + r.governor["prescales"],
                 )
             )
-    headers = ["Size", "Scheme", "Latency (us)", "Energy (J)", "Drops"]
-    notes = (
-        "Countdown throttles T-states only (the NIC rating follows core\n"
-        "frequency, not duty), so its latency hugs No-Power; predictive\n"
-        "pre-scales to fmin and lands near the Proposed energy point."
-    )
-    return headers, rows, notes
+        headers = ["Scheme", "Total (ms)", "Energy (J)", "Power ops"]
+        notes = (
+            "Power ops counts DVFS+throttle transitions for static schemes and\n"
+            "governor drops+pre-scales for the online policies.  The online\n"
+            "policies need no per-algorithm schedule yet beat ADAPTIVE's energy."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def extension_governor_mixed(
@@ -605,43 +939,52 @@ def extension_governor_mixed(
 ):
     """Extension: the governor vs the per-call ADAPTIVE scheme on the
     mixed-size workload of :func:`extension_adaptive_policy`."""
+    return _run_plan(plan_ext_governor_mixed(sizes))
 
-    def program(ctx):
-        for nbytes in sizes:
-            yield from ctx.alltoall(nbytes)
-            yield from ctx.bcast(nbytes // 16)
 
-    rows: List[Tuple] = []
-    for mode in (*MODES, PowerMode.ADAPTIVE):
-        job = MpiJob(64, collectives=_engine(mode), keep_segments=False)
-        r = job.run(program)
-        rows.append(
-            (
-                MODE_LABELS.get(mode, "Adaptive"),
-                r.duration_s * 1e3,
-                r.energy_j,
-                r.stats.dvfs_transitions + r.stats.throttle_transitions,
+def plan_ext_governor_apps(include_nas: bool = True) -> SweepPlan:
+    apps = [(CPMD_WAT32_INP1, 64)]
+    if include_nas:
+        apps.append((NAS_FT, 64))
+    cells = []
+    for app, ranks in apps:
+        for mode in MODES:
+            cells.append(_app_cell("ext-governor-apps", app, ranks, mode))
+        for policy in GOVERNOR_POLICIES:
+            cells.append(
+                _app_cell(
+                    "ext-governor-apps", app, ranks, PowerMode.NONE,
+                    governor=_governor_params(policy), scheme=policy,
+                )
             )
+
+    def assemble(results):
+        schemes = [MODE_LABELS[m] for m in MODES] + [
+            GOVERNOR_LABELS[p] for p in GOVERNOR_POLICIES
+        ]
+        rows: List[Tuple] = []
+        per_app = len(schemes)
+        for i, (app, _ranks) in enumerate(apps):
+            for j, scheme in enumerate(schemes):
+                r = results[per_app * i + j]
+                rows.append(
+                    (
+                        app.name,
+                        scheme,
+                        r.app["total_time_s"],
+                        r.app["alltoall_time_s"],
+                        r.app["energy_kj"],
+                    )
+                )
+        headers = ["App", "Scheme", "Total (s)", "Alltoall (s)", "Energy (kJ)"]
+        notes = (
+            "Countdown's T-state-only drops keep the alltoall phase within 2%\n"
+            "of No-Power while recovering most of the wait energy; predictive\n"
+            "pre-scaling beats every static scheme on total energy."
         )
-    for policy in GOVERNOR_POLICIES:
-        job, gov = _governed_job(64, policy)
-        r = job.run(program)
-        report = gov.report()
-        rows.append(
-            (
-                GOVERNOR_LABELS[policy],
-                r.duration_s * 1e3,
-                r.energy_j,
-                report.drops + report.prescales,
-            )
-        )
-    headers = ["Scheme", "Total (ms)", "Energy (J)", "Power ops"]
-    notes = (
-        "Power ops counts DVFS+throttle transitions for static schemes and\n"
-        "governor drops+pre-scales for the online policies.  The online\n"
-        "policies need no per-algorithm schedule yet beat ADAPTIVE's energy."
-    )
-    return headers, rows, notes
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def extension_governor_apps(include_nas: bool = True):
@@ -649,44 +992,7 @@ def extension_governor_apps(include_nas: bool = True):
     + NAS FT) against the paper's static schemes — the ISSUE acceptance
     surface: countdown ≤ 1.05x best static energy at ≤ 2% added
     communication latency."""
-    from ..apps import CPMD_WAT32_INP1
-    from ..runtime import Governor, GovernorConfig, GovernorPolicy
-
-    apps = [(CPMD_WAT32_INP1, 64)]
-    if include_nas:
-        apps.append((NAS_FT, 64))
-    rows: List[Tuple] = []
-    for app, ranks in apps:
-        for mode in MODES:
-            r = run_app(app, ranks, mode)
-            rows.append(
-                (
-                    app.name,
-                    MODE_LABELS[mode],
-                    r.total_time_s,
-                    r.alltoall_time_s,
-                    r.energy_kj,
-                )
-            )
-        for policy in GOVERNOR_POLICIES:
-            gov = Governor(GovernorConfig(policy=GovernorPolicy(policy)))
-            r = run_app(app, ranks, PowerMode.NONE, governor=gov)
-            rows.append(
-                (
-                    app.name,
-                    GOVERNOR_LABELS[policy],
-                    r.total_time_s,
-                    r.alltoall_time_s,
-                    r.energy_kj,
-                )
-            )
-    headers = ["App", "Scheme", "Total (s)", "Alltoall (s)", "Energy (kJ)"]
-    notes = (
-        "Countdown's T-state-only drops keep the alltoall phase within 2%\n"
-        "of No-Power while recovering most of the wait energy; predictive\n"
-        "pre-scaling beats every static scheme on total energy."
-    )
-    return headers, rows, notes
+    return _run_plan(plan_ext_governor_apps(include_nas))
 
 
 # ---------------------------------------------------------------------
@@ -698,6 +1004,72 @@ def extension_governor_apps(include_nas: bool = True):
 DEFAULT_FAULT_SPEC = (
     "degrade:factor=0.6,frac=0.25;noise:period=500us,pulse=20us,frac=0.25"
 )
+
+
+def plan_ext_faults(
+    sizes: Sequence[int] = (64 << 10, 256 << 10),
+    iterations: int = 3,
+    n_ranks: int = 64,
+    fault_spec: str = DEFAULT_FAULT_SPEC,
+    seed: int = 7,
+) -> SweepPlan:
+    from ..faults import parse_fault_spec
+
+    fault_params = parse_fault_spec(fault_spec, seed=seed).to_dict()
+    schemes = ("No-Power", *GOVERNOR_LABELS.values())
+    fault_labels = ("quiet", "mild")
+    cells = []
+    for nbytes in sizes:
+        for fault_label in fault_labels:
+            for scheme in schemes:
+                governor = None
+                if scheme != "No-Power":
+                    policy = next(
+                        p for p, label in GOVERNOR_LABELS.items()
+                        if label == scheme
+                    )
+                    governor = _governor_params(policy)
+                cells.append(
+                    _collective_cell(
+                        "ext-faults", "alltoall", nbytes, n_ranks,
+                        iterations=iterations, compute_s=200e-6,
+                        governor=governor,
+                        faults=fault_params if fault_label == "mild" else None,
+                        label=(
+                            f"alltoall/{bytes_label(nbytes)}"
+                            f"/{fault_label}/{scheme}"
+                        ),
+                    )
+                )
+
+    def assemble(results):
+        rows: List[Tuple] = []
+        i = 0
+        for nbytes in sizes:
+            for fault_label in fault_labels:
+                for scheme in schemes:
+                    r = results[i]
+                    i += 1
+                    drops = r.governor["drops"] if r.governor is not None else 0
+                    rows.append(
+                        (
+                            bytes_label(nbytes),
+                            fault_label,
+                            scheme,
+                            r.duration_s * 1e3,
+                            r.energy_j,
+                            drops,
+                        )
+                    )
+        headers = ["Size", "Faults", "Scheme", "Total (ms)", "Energy (J)", "Drops"]
+        notes = (
+            "'mild' = " + fault_spec + f" (seed {seed}).\n"
+            "Countdown must keep its envelope under perturbation: latency\n"
+            "within 2% of the equally-faulted No-Power run, energy below it."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def extension_faults_governor(
@@ -715,55 +1087,54 @@ def extension_faults_governor(
     countdown's envelope survives mild perturbation — latency hugging
     the (equally perturbed) No-Power baseline while still saving energy.
     """
-    from ..faults import parse_fault_spec
-    from ..runtime import Governor, GovernorConfig, GovernorPolicy
+    return _run_plan(plan_ext_faults(sizes, iterations, n_ranks, fault_spec, seed))
 
-    schemes = ("No-Power", *GOVERNOR_LABELS.values())
-    rows: List[Tuple] = []
-    for nbytes in sizes:
-        for fault_label, active in (("quiet", False), ("mild", True)):
-            for scheme in schemes:
-                # A FaultState binds to exactly one session: re-parse per
-                # run so every job gets its own (identically seeded) plan.
-                plan = parse_fault_spec(fault_spec, seed=seed) if active else None
-                gov = None
-                if scheme != "No-Power":
-                    policy = next(
-                        p for p, label in GOVERNOR_LABELS.items()
-                        if label == scheme
-                    )
-                    gov = Governor(GovernorConfig(policy=GovernorPolicy(policy)))
-                job = MpiJob(
-                    n_ranks,
-                    collectives=_engine(PowerMode.NONE),
-                    keep_segments=False,
-                    governor=gov,
-                    faults=plan,
+
+def plan_ablation_scaling(
+    nbytes: int = 256 << 10, node_counts=(2, 4, 8, 16)
+) -> SweepPlan:
+    cells = []
+    for n_nodes in node_counts:
+        spec = ClusterSpec(nodes=n_nodes)
+        n_ranks = n_nodes * 8
+        for mode in (PowerMode.NONE, PowerMode.PROPOSED):
+            cells.append(
+                _collective_cell(
+                    "ablation-scaling", "alltoall", nbytes, n_ranks, mode=mode,
+                    cluster_spec=spec,
+                    label=f"alltoall/{n_nodes}n/{mode.value}",
                 )
+            )
 
-                def program(ctx):
-                    for _ in range(iterations):
-                        yield from ctx.compute(200e-6)
-                        yield from ctx.alltoall(nbytes)
-
-                r = job.run(program)
-                rows.append(
-                    (
-                        bytes_label(nbytes),
-                        fault_label,
-                        scheme,
-                        r.duration_s * 1e3,
-                        r.energy_j,
-                        gov.report().drops if gov is not None else 0,
-                    )
+    def assemble(results):
+        rows = []
+        for i, n_nodes in enumerate(node_counts):
+            r_def, r_prop = results[2 * i], results[2 * i + 1]
+            rows.append(
+                (
+                    n_nodes,
+                    n_nodes * 8,
+                    r_def.duration_s * 1e6,
+                    r_prop.duration_s * 1e6,
+                    r_prop.duration_s / r_def.duration_s - 1.0,
+                    1.0 - r_prop.average_power_w / r_def.average_power_w,
                 )
-    headers = ["Size", "Faults", "Scheme", "Total (ms)", "Energy (J)", "Drops"]
-    notes = (
-        "'mild' = " + fault_spec + f" (seed {seed}).\n"
-        "Countdown must keep its envelope under perturbation: latency\n"
-        "within 2% of the equally-faulted No-Power run, energy below it."
-    )
-    return headers, rows, notes
+            )
+        headers = [
+            "Nodes",
+            "Ranks",
+            "Default (us)",
+            "Proposed (us)",
+            "Overhead",
+            "Power saving",
+        ]
+        notes = (
+            "Eq (3): the throttle-transition overhead grows with N, but the\n"
+            "relative power saving (~30%) is size-independent."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def ablation_cluster_scaling(nbytes: int = 256 << 10, node_counts=(2, 4, 8, 16)):
@@ -773,40 +1144,38 @@ def ablation_cluster_scaling(nbytes: int = 256 << 10, node_counts=(2, 4, 8, 16))
     node count — while the power saving fraction stays constant.  This
     sweep exercises both claims beyond the paper's 8-node testbed.
     """
-    rows = []
-    for n_nodes in node_counts:
-        spec = ClusterSpec(nodes=n_nodes)
-        n_ranks = n_nodes * 8
-        r_def = run_collective_loop(
-            "alltoall", nbytes, n_ranks, cluster_spec=spec, keep_segments=False
-        )
-        r_prop = run_collective_loop(
-            "alltoall", nbytes, n_ranks, mode=PowerMode.PROPOSED,
-            cluster_spec=spec, keep_segments=False,
-        )
-        rows.append(
-            (
-                n_nodes,
-                n_ranks,
-                r_def.duration_s * 1e6,
-                r_prop.duration_s * 1e6,
-                r_prop.duration_s / r_def.duration_s - 1.0,
-                1.0 - r_prop.average_power_w / r_def.average_power_w,
+    return _run_plan(plan_ablation_scaling(nbytes, node_counts))
+
+
+def plan_ablation_fmin(nbytes: int = 1 << 20) -> SweepPlan:
+    from ..cluster.specs import DEFAULT_PSTATES
+
+    cells = []
+    for f_target in DEFAULT_PSTATES:
+        cpu = CpuSpec(pstates_ghz=tuple(f for f in DEFAULT_PSTATES if f >= f_target))
+        spec = ClusterSpec(nodes=8, node=NodeSpec(cpu=cpu))
+        cells.append(
+            _collective_cell(
+                "ablation-fmin", "alltoall", nbytes, 64, mode=PowerMode.DVFS,
+                cluster_spec=spec,
+                label=f"alltoall/{bytes_label(nbytes)}/fmin={f_target}",
             )
         )
-    headers = [
-        "Nodes",
-        "Ranks",
-        "Default (us)",
-        "Proposed (us)",
-        "Overhead",
-        "Power saving",
-    ]
-    notes = (
-        "Eq (3): the throttle-transition overhead grows with N, but the\n"
-        "relative power saving (~30%) is size-independent."
-    )
-    return headers, rows, notes
+
+    def assemble(results):
+        rows = [
+            (f_target, r.duration_s * 1e6, r.average_power_w / 1e3, r.energy_j)
+            for f_target, r in zip(DEFAULT_PSTATES, results)
+        ]
+        headers = ["DVFS target (GHz)", "Latency (us)", "Avg power (kW)", "Energy (J)"]
+        notes = (
+            "Energy falls monotonically toward fmin — the paper's choice of\n"
+            "'the minimum possible frequency' (§V) is energy-optimal for\n"
+            "communication phases."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def ablation_fmin_sweep(nbytes: int = 1 << 20):
@@ -817,44 +1186,69 @@ def ablation_fmin_sweep(nbytes: int = 1 << 20):
     monotonically down the P-state ladder while latency grows only via the
     uncore/NIC coupling.
     """
-    from ..cluster.specs import DEFAULT_PSTATES
+    return _run_plan(plan_ablation_fmin(nbytes))
 
-    rows = []
-    for f_target in DEFAULT_PSTATES:
-        cpu = CpuSpec(pstates_ghz=tuple(f for f in DEFAULT_PSTATES if f >= f_target))
+
+def plan_ablation_overheads(
+    nbytes: int = 256 << 10, overheads_us: Sequence[float] = (0.0, 12.0, 50.0, 200.0)
+) -> SweepPlan:
+    cells = []
+    for ov in overheads_us:
+        cpu = CpuSpec(dvfs_latency_s=ov * 1e-6, throttle_latency_s=ov * 1e-6)
         spec = ClusterSpec(nodes=8, node=NodeSpec(cpu=cpu))
-        r = run_collective_loop(
-            "alltoall", nbytes, 64, mode=PowerMode.DVFS, cluster_spec=spec,
-            keep_segments=False,
+        cells.append(
+            _collective_cell(
+                "ablation-overheads", "alltoall", nbytes, 64,
+                mode=PowerMode.PROPOSED, cluster_spec=spec,
+                label=f"alltoall/{bytes_label(nbytes)}/ov={ov}us",
+            )
         )
-        rows.append(
-            (f_target, r.duration_s * 1e6, r.average_power_w / 1e3, r.energy_j)
+
+    def assemble(results):
+        rows = [(ov, r.duration_s * 1e6) for ov, r in zip(overheads_us, results)]
+        headers = ["Odvfs=Othrottle (us)", "Proposed alltoall (us)"]
+        notes = (
+            "Paper §VI-A2: the overhead term 2·Odvfs + N·Othrottle grows\n"
+            "linearly with the transition cost; Nehalem's ~12us keeps it small."
         )
-    headers = ["DVFS target (GHz)", "Latency (us)", "Avg power (kW)", "Energy (J)"]
-    notes = (
-        "Energy falls monotonically toward fmin — the paper's choice of\n"
-        "'the minimum possible frequency' (§V) is energy-optimal for\n"
-        "communication phases."
-    )
-    return headers, rows, notes
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
 
 
 def ablation_transition_overheads(
     nbytes: int = 256 << 10, overheads_us: Sequence[float] = (0.0, 12.0, 50.0, 200.0)
 ):
     """§VI-A2: sensitivity of the proposed alltoall to Odvfs/Othrottle."""
-    rows = []
-    for ov in overheads_us:
-        cpu = CpuSpec(dvfs_latency_s=ov * 1e-6, throttle_latency_s=ov * 1e-6)
-        spec = ClusterSpec(nodes=8, node=NodeSpec(cpu=cpu))
-        r = run_collective_loop(
-            "alltoall", nbytes, 64, mode=PowerMode.PROPOSED, cluster_spec=spec,
-            keep_segments=False,
-        )
-        rows.append((ov, r.duration_s * 1e6))
-    headers = ["Odvfs=Othrottle (us)", "Proposed alltoall (us)"]
-    notes = (
-        "Paper §VI-A2: the overhead term 2·Odvfs + N·Othrottle grows\n"
-        "linearly with the transition cost; Nehalem's ~12us keeps it small."
-    )
-    return headers, rows, notes
+    return _run_plan(plan_ablation_overheads(nbytes, overheads_us))
+
+
+#: CLI experiment name → zero-argument cell-plan producer (the default
+#: parameterisation of each experiment, decomposed but not yet run).
+CELL_PLANS: Dict[str, Callable[[], SweepPlan]] = {
+    "fig2a": plan_fig2a,
+    "fig2b": plan_fig2b,
+    "fig2c": plan_fig2c,
+    "fig6a": plan_fig6a,
+    "fig6b": plan_fig6b,
+    "fig7a": plan_fig7a,
+    "fig7b": plan_fig7b,
+    "fig8a": plan_fig8a,
+    "fig8b": plan_fig8b,
+    "fig9": lambda: _plan_apps("fig9", CPMD_DATASETS),
+    "fig10": lambda: _plan_apps("fig10", (NAS_FT, NAS_IS)),
+    "table1": lambda: _plan_apps("table1", CPMD_DATASETS),
+    "table2": lambda: _plan_apps("table2", (NAS_FT, NAS_IS)),
+    "models": plan_models_validation,
+    "alltoallv": plan_alltoallv,
+    "ablation-granularity": plan_ablation_granularity,
+    "ablation-overheads": plan_ablation_overheads,
+    "ablation-fmin": plan_ablation_fmin,
+    "ablation-scaling": plan_ablation_scaling,
+    "ext-racks": plan_ext_racks,
+    "ext-adaptive": plan_ext_adaptive,
+    "ext-governor-alltoall": plan_ext_governor_alltoall,
+    "ext-governor-mixed": plan_ext_governor_mixed,
+    "ext-governor-apps": plan_ext_governor_apps,
+    "ext-faults": plan_ext_faults,
+}

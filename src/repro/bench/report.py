@@ -64,3 +64,64 @@ def bytes_label(n: int) -> str:
     if n >= 1 << 10 and n % (1 << 10) == 0:
         return f"{n >> 10}K"
     return str(n)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def render_sweep_report(stats: dict) -> str:
+    """Render the last sweep's runner accounting (``repro bench-report``).
+
+    ``stats`` is the dict persisted by
+    :func:`repro.runner.save_sweep_stats`: cache hit/miss counters plus
+    per-cell ``(label, wall_seconds)`` timings.
+    """
+    lines = [f"== sweep report: {stats.get('experiment') or '(unnamed)'} =="]
+    total = stats.get("cells_total", 0)
+    hits = stats.get("memo_hits", 0) + stats.get("cache_hits", 0)
+    rate = hits / total if total else 0.0
+    summary_rows = [
+        ("cells", total),
+        ("memo hits", stats.get("memo_hits", 0)),
+        ("cache hits", stats.get("cache_hits", 0)),
+        ("executed", stats.get("unique_executed", 0)),
+        ("hit rate", f"{rate:.0%}"),
+        ("jobs", stats.get("jobs", 1)),
+        ("elapsed (s)", stats.get("elapsed_s", 0.0)),
+    ]
+    cache = stats.get("cache")
+    if cache:
+        summary_rows.append(
+            ("disk cache h/m/w",
+             f"{cache.get('hits', 0)}/{cache.get('misses', 0)}"
+             f"/{cache.get('writes', 0)}")
+        )
+    if stats.get("cache_dir"):
+        summary_rows.append(("cache dir", stats["cache_dir"]))
+    if stats.get("fell_back_inline"):
+        summary_rows.append(("note", "pool unavailable; ran inline"))
+    lines.append(format_table(["metric", "value"], summary_rows))
+    timings = [(label, float(t)) for label, t in stats.get("timings", [])]
+    if timings:
+        walls = sorted(t for _label, t in timings)
+        lines.append("")
+        lines.append(
+            format_table(
+                ["cell timings", "value (s)"],
+                [
+                    ("p50", _percentile(walls, 0.50)),
+                    ("p95", _percentile(walls, 0.95)),
+                    ("max", walls[-1]),
+                    ("total", sum(walls)),
+                ],
+            )
+        )
+        slowest = sorted(timings, key=lambda lt: lt[1], reverse=True)[:5]
+        lines.append("")
+        lines.append(format_table(["slowest cells", "wall (s)"], slowest))
+    return "\n".join(lines) + "\n"

@@ -12,14 +12,27 @@ Commands
     Run any paper figure/table experiment and print its series.
 ``experiments``
     List the available experiments.
+``bench-report``
+    Print cache statistics and per-cell timings from the last sweep run.
+
+The ``experiment`` / ``osu`` / ``app`` commands accept ``--jobs N`` to
+shard their independent simulation cells across worker processes and
+``--cache-dir`` / ``--no-cache`` / ``--refresh`` to control the
+content-addressed result cache (see :mod:`repro.runner`).  Parallel
+output is bit-identical to serial output.  The instrumentation flags
+(``--trace`` / ``--profile`` / ``--governor`` / ``--faults``) need one
+fresh simulation per run to collect their per-run reports, so they
+bypass the runner entirely.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import re
 import sys
+from pathlib import Path
 from typing import Callable, List, Optional
 
 from . import bench
@@ -127,6 +140,74 @@ def _add_instrumentation_flags(subparser: argparse.ArgumentParser) -> None:
         help="seed for the fault plan's randomness (default 0; "
              "needs --faults)",
     )
+
+
+def _add_runner_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run independent simulation cells across N worker processes "
+             "(default: all cores, or $REPRO_JOBS; 1 = inline)",
+    )
+    subparser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    subparser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    subparser.add_argument(
+        "--refresh", action="store_true",
+        help="recompute every cell, overwriting any cached results",
+    )
+
+
+def _instrumentation_requested(args) -> bool:
+    return bool(
+        getattr(args, "trace", None) is not None
+        or getattr(args, "profile", False)
+        or getattr(args, "governor", None) is not None
+        or getattr(args, "faults", None) is not None
+    )
+
+
+class _RunnerSetup:
+    """Resolved --jobs/--cache-dir/--no-cache/--refresh for one command."""
+
+    def __init__(self, args, experiment: str = ""):
+        from .runner import ResultCache, SweepStats, resolve_jobs
+
+        self.jobs = resolve_jobs(args.jobs, default=os.cpu_count() or 1)
+        self.cache = (
+            None if args.no_cache
+            else ResultCache(Path(args.cache_dir) if args.cache_dir else None)
+        )
+        self.refresh = bool(args.refresh)
+        self.stats = SweepStats(experiment=experiment, jobs=self.jobs)
+
+    def run(self, cells):
+        from .runner import run_cells
+
+        return run_cells(
+            cells, jobs=self.jobs, cache=self.cache,
+            refresh=self.refresh, stats=self.stats,
+        )
+
+    def finish(self) -> None:
+        """Print the run summary (stderr keeps stdout byte-comparable
+        across warm/cold runs) and persist it for ``bench-report``."""
+        from .runner import save_sweep_stats
+
+        line = self.stats.one_line()
+        if self.cache is not None:
+            cs = self.cache.stats()
+            line += (
+                f" | disk cache {cs['hits']} hits / {cs['misses']} misses"
+                f" / {cs['writes']} writes ({self.cache.root})"
+            )
+        print(line, file=sys.stderr)
+        save_sweep_stats(self.stats, cache=self.cache)
 
 
 def _fault_plan(args):
@@ -252,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--json", metavar="DIR", default=None,
                        help="also write results/<name>.json under DIR")
     _add_instrumentation_flags(p_exp)
+    _add_runner_flags(p_exp)
 
     p_osu = sub.add_parser("osu", help="run a simulated OSU microbenchmark")
     p_osu.add_argument(
@@ -269,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_osu.add_argument("--intra-node", action="store_true",
                        help="p2p benchmarks: use a same-node pair")
     _add_instrumentation_flags(p_osu)
+    _add_runner_flags(p_osu)
 
     p_app = sub.add_parser("app", help="run an application workload")
     p_app.add_argument("name", choices=sorted(APPS))
@@ -276,6 +359,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_app.add_argument("--mode", choices=[m.value for m in PowerMode],
                        default="none")
     _add_instrumentation_flags(p_app)
+    _add_runner_flags(p_app)
+
+    p_report = sub.add_parser(
+        "bench-report",
+        help="print cache statistics and per-cell timings of the last sweep",
+    )
+    p_report.add_argument(
+        "--results-dir", default="results", metavar="DIR",
+        help="directory holding last_sweep.json (default: results)",
+    )
     return parser
 
 
@@ -299,8 +392,17 @@ def cmd_info(out) -> int:
     return 0
 
 
-def cmd_experiment(name: str, out, json_dir=None) -> int:
-    headers, rows, notes = EXPERIMENTS[name]()
+def cmd_experiment(name: str, out, json_dir=None, args=None) -> int:
+    if args is None or _instrumentation_requested(args):
+        # Instrumented runs need one fresh simulation per cell for their
+        # per-run reports; the experiment detects the scopes itself.
+        headers, rows, notes = EXPERIMENTS[name]()
+    else:
+        setup = _RunnerSetup(args, experiment=name)
+        with bench.use_runner(jobs=setup.jobs, cache=setup.cache,
+                              refresh=setup.refresh, stats=setup.stats):
+            headers, rows, notes = EXPERIMENTS[name]()
+        setup.finish()
     print(render_experiment(name, headers, rows, notes), file=out)
     if json_dir is not None:
         from .bench import save_json
@@ -314,26 +416,54 @@ def cmd_osu(args, out) -> int:
     progress = ProgressMode.BLOCKING if args.blocking else ProgressMode.POLLING
     sizes = [args.size] if args.size is not None else list(osu.DEFAULT_SIZES[2:9])
     mode = _power_mode(args.mode)
-    rows = []
-    if args.bench == "latency":
-        for nbytes in sizes:
-            t = osu.osu_latency(nbytes, inter_node=not args.intra_node,
-                                progress=progress)
-            rows.append((bytes_label(nbytes), t * 1e6))
-        headers = ["Size", "Latency (us)"]
+    metrics: List[float]
+    if not _instrumentation_requested(args):
+        from .runner import SweepCell
+
+        setup = _RunnerSetup(args, experiment=f"osu-{args.bench}")
+        cells = [
+            SweepCell(
+                experiment=f"osu-{args.bench}",
+                kind="osu",
+                params={
+                    "bench": args.bench,
+                    "nbytes": nbytes,
+                    "n_ranks": args.ranks,
+                    "mode": args.mode,
+                    "blocking": args.blocking,
+                    "intra_node": args.intra_node,
+                },
+                label=f"osu_{args.bench}/{bytes_label(nbytes)}",
+            )
+            for nbytes in sizes
+        ]
+        metrics = [r.extra["metric"] for r in setup.run(cells)]
+        setup.finish()
+    elif args.bench == "latency":
+        metrics = [
+            osu.osu_latency(nbytes, inter_node=not args.intra_node,
+                            progress=progress)
+            for nbytes in sizes
+        ]
     elif args.bench in ("bw", "bibw"):
         fn = osu.osu_bw if args.bench == "bw" else osu.osu_bibw
-        for nbytes in sizes:
-            bw = fn(nbytes, inter_node=not args.intra_node)
-            rows.append((bytes_label(nbytes), bw / 1e9))
-        headers = ["Size", "Bandwidth (GB/s)"]
+        metrics = [fn(nbytes, inter_node=not args.intra_node) for nbytes in sizes]
     else:
-        for nbytes in sizes:
-            t = osu.osu_collective_latency(
+        metrics = [
+            osu.osu_collective_latency(
                 args.bench, nbytes, n_ranks=args.ranks, mode=mode,
                 progress=progress, iterations=3, warmup=1,
             )
-            rows.append((bytes_label(nbytes), t * 1e6))
+            for nbytes in sizes
+        ]
+    if args.bench in ("bw", "bibw"):
+        rows = [(bytes_label(n), m / 1e9) for n, m in zip(sizes, metrics)]
+        headers = ["Size", "Bandwidth (GB/s)"]
+    elif args.bench == "latency":
+        rows = [(bytes_label(n), m * 1e6) for n, m in zip(sizes, metrics)]
+        headers = ["Size", "Latency (us)"]
+    else:
+        rows = [(bytes_label(n), m * 1e6) for n, m in zip(sizes, metrics)]
         headers = ["Size", "Avg latency (us)"]
     title = f"osu_{args.bench} ({args.ranks} ranks, {args.mode}, {progress.value})"
     print(render_experiment(title, headers, rows), file=out)
@@ -341,16 +471,54 @@ def cmd_osu(args, out) -> int:
 
 
 def cmd_app(args, out) -> int:
-    result = run_app(APPS[args.name], args.ranks, _power_mode(args.mode))
-    rows = [
-        ("total time (s)", result.total_time_s),
-        ("alltoall time (s)", result.alltoall_time_s),
-        ("alltoall fraction", result.alltoall_fraction),
-        ("energy (kJ)", result.energy_kj),
-        ("avg power (kW)", result.sim.average_power_w / 1e3),
-    ]
-    title = f"{result.app} @ {args.ranks} ranks, scheme={args.mode}"
+    if not _instrumentation_requested(args):
+        from .runner import SweepCell
+
+        setup = _RunnerSetup(args, experiment=f"app-{args.name}")
+        cell = SweepCell(
+            experiment=f"app-{args.name}",
+            kind="app",
+            params={"app": args.name, "ranks": args.ranks, "mode": args.mode},
+            label=f"{args.name}/{args.ranks}r/{args.mode}",
+        )
+        (r,) = setup.run([cell])
+        setup.finish()
+        app_name = r.app["name"]
+        rows = [
+            ("total time (s)", r.app["total_time_s"]),
+            ("alltoall time (s)", r.app["alltoall_time_s"]),
+            ("alltoall fraction", r.app["alltoall_fraction"]),
+            ("energy (kJ)", r.app["energy_kj"]),
+            ("avg power (kW)", r.average_power_w / 1e3),
+        ]
+    else:
+        result = run_app(APPS[args.name], args.ranks, _power_mode(args.mode))
+        app_name = result.app
+        rows = [
+            ("total time (s)", result.total_time_s),
+            ("alltoall time (s)", result.alltoall_time_s),
+            ("alltoall fraction", result.alltoall_fraction),
+            ("energy (kJ)", result.energy_kj),
+            ("avg power (kW)", result.sim.average_power_w / 1e3),
+        ]
+    title = f"{app_name} @ {args.ranks} ranks, scheme={args.mode}"
     print(render_experiment(title, ["metric", "value"], rows), file=out)
+    return 0
+
+
+def cmd_bench_report(args, out) -> int:
+    from .bench.report import render_sweep_report
+    from .runner import load_sweep_stats
+
+    stats = load_sweep_stats(Path(args.results_dir))
+    if stats is None:
+        print(
+            f"no sweep recorded under {args.results_dir!r}; run an "
+            "experiment first (e.g. `python -m repro experiment fig7a`)",
+            file=out,
+        )
+        return 1
+    print(render_sweep_report(stats), file=out, end="")
     return 0
 
 
@@ -382,12 +550,15 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             )
             return 2
         return _instrumented(
-            args, out, lambda: cmd_experiment(name, out, json_dir=args.json)
+            args, out,
+            lambda: cmd_experiment(name, out, json_dir=args.json, args=args),
         )
     if args.command == "osu":
         return _instrumented(args, out, lambda: cmd_osu(args, out))
     if args.command == "app":
         return _instrumented(args, out, lambda: cmd_app(args, out))
+    if args.command == "bench-report":
+        return cmd_bench_report(args, out)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

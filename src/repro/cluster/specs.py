@@ -68,6 +68,29 @@ class CpuSpec:
         if any(f <= 0 for f in self.pstates_ghz):
             raise ValueError("frequencies must be positive")
 
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-able, stable key order via dataclass
+        fields) — the currency of sweep cells and cache keys."""
+        return {
+            "cores_per_socket": self.cores_per_socket,
+            "pstates_ghz": list(self.pstates_ghz),
+            "dvfs_latency_s": self.dvfs_latency_s,
+            "throttle_latency_s": self.throttle_latency_s,
+            "throttle_granularity": self.throttle_granularity.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CpuSpec":
+        """Inverse of :meth:`to_dict` (omitted keys take defaults)."""
+        kwargs = dict(data)
+        if "pstates_ghz" in kwargs:
+            kwargs["pstates_ghz"] = tuple(kwargs["pstates_ghz"])
+        if "throttle_granularity" in kwargs:
+            kwargs["throttle_granularity"] = ThrottleGranularity(
+                kwargs["throttle_granularity"]
+            )
+        return cls(**kwargs)
+
     @property
     def fmin(self) -> float:
         """Lowest available frequency (GHz)."""
@@ -93,6 +116,16 @@ class NodeSpec:
     def __post_init__(self) -> None:
         if self.sockets < 1:
             raise ValueError("sockets must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {"sockets": self.sockets, "cpu": self.cpu.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NodeSpec":
+        kwargs = dict(data)
+        if "cpu" in kwargs:
+            kwargs["cpu"] = CpuSpec.from_dict(kwargs["cpu"])
+        return cls(**kwargs)
 
     @property
     def cores_per_node(self) -> int:
@@ -120,6 +153,20 @@ class ClusterSpec:
             raise ValueError("racks must be >= 1")
         if self.nodes % self.racks != 0:
             raise ValueError("nodes must divide evenly across racks")
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "racks": self.racks,
+            "node": self.node.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterSpec":
+        kwargs = dict(data)
+        if "node" in kwargs:
+            kwargs["node"] = NodeSpec.from_dict(kwargs["node"])
+        return cls(**kwargs)
 
     @property
     def total_cores(self) -> int:

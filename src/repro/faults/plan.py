@@ -204,6 +204,31 @@ class FaultPlan:
         names = ",".join(type(i).__name__ for i in self.injectors) or "none"
         return f"seed={self.seed} injectors=[{names}]"
 
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-able): clause name + field values per
+        injector.  Two equal plans serialize identically, so the dict is
+        safe to hash into a sweep-cache key."""
+        return {
+            "seed": self.seed,
+            "injectors": [
+                {"kind": _clause_name(type(i)), **_injector_fields(i)}
+                for i in self.injectors
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` — reconstructs an equal plan (the
+        determinism contract then guarantees identical perturbations)."""
+        injectors = []
+        for entry in data.get("injectors", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            if kind not in _CLAUSES:
+                raise FaultSpecError(f"unknown injector kind {kind!r}")
+            injectors.append(_CLAUSES[kind][0](**entry))
+        return cls(seed=data.get("seed", 0), injectors=tuple(injectors))
+
 
 # -- the --faults spec grammar ---------------------------------------------
 
@@ -321,3 +346,11 @@ def parse_fault_spec(spec: str, seed: int = 0) -> FaultPlan:
 
 def _injector_fields(injector: Injector) -> dict:
     return {f.name: getattr(injector, f.name) for f in fields(injector)}
+
+
+def _clause_name(cls) -> str:
+    """Injector class → its spec-grammar clause name ("degrade", ...)."""
+    for name, (klass, _keys) in _CLAUSES.items():
+        if klass is cls:
+            return name
+    raise FaultSpecError(f"no clause name for {cls!r}")  # pragma: no cover

@@ -126,6 +126,18 @@ class NetworkSpec:
         if not 0.0 <= self.dvfs_io_alpha <= 1.0:
             raise ValueError("dvfs_io_alpha must be in [0, 1]")
 
+    def to_dict(self) -> dict:
+        """Plain-data form for sweep cells and cache keys (flat floats/
+        ints/bools; ``inf`` survives the JSON round trip as ``Infinity``)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkSpec":
+        """Inverse of :meth:`to_dict` (omitted keys take defaults)."""
+        return cls(**data)
+
     def nic_dvfs_factor(self, mean_freq_ratio: float) -> float:
         """Effective NIC capacity multiplier for a node whose cores run at
         ``mean_freq_ratio`` = mean(f)/fmax."""

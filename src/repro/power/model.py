@@ -62,6 +62,29 @@ class PowerModelParams:
             if activity not in self.activity_factors:
                 raise ValueError(f"missing activity factor for {activity}")
 
+    def to_dict(self) -> dict:
+        """Plain-data form for sweep cells and cache keys."""
+        return {
+            "core_idle_w": self.core_idle_w,
+            "core_dyn_w_per_ghz3": self.core_dyn_w_per_ghz3,
+            "node_base_w": self.node_base_w,
+            "throttle_gating": self.throttle_gating,
+            "activity_factors": {
+                activity.value: self.activity_factors[activity]
+                for activity in Activity
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PowerModelParams":
+        """Inverse of :meth:`to_dict` (omitted keys take defaults)."""
+        kwargs = dict(data)
+        if "activity_factors" in kwargs:
+            kwargs["activity_factors"] = {
+                Activity(k): v for k, v in kwargs["activity_factors"].items()
+            }
+        return cls(**kwargs)
+
 
 class PowerModel:
     """Evaluates instantaneous power draw from core state."""

@@ -1,0 +1,155 @@
+"""Content-addressed on-disk cache for sweep-cell results.
+
+A cell's cache key is a sha256 over the canonical JSON of
+
+* the cell's *content* spec (kind + params — NOT the experiment name, so
+  experiments sharing identical cells share entries: fig9 and table1
+  re-use the same 18 application runs, fig7a and the governor extension
+  share their ungoverned baselines), and
+* an *environment signature*: the paper-testbed defaults every cell
+  implicitly closes over (cluster / network / power-model constants),
+  the package version, and a cache-schema version.
+
+Anything that could change a cell's simulated output must be inside one
+of those two — that is the invariant that makes a hit trustworthy.
+Bump :data:`CACHE_SCHEMA` whenever result semantics change without a
+spec change (e.g. a bugfix in the fabric).
+
+Entries are one JSON file each, sharded by the first two key hex digits
+(``<dir>/ab/abcdef….json``) to keep directories small, written via a
+temp file + :func:`os.replace` so concurrent writers and crashes can
+never leave a half-written entry; corrupt or unreadable entries read as
+misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .cells import CellResult, SweepCell
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "cache_key",
+    "default_cache_dir",
+    "environment_signature",
+]
+
+#: Bump when cell result semantics change without a spec change.
+CACHE_SCHEMA = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+_ENV_SIGNATURE: Optional[Dict[str, Any]] = None
+
+
+def environment_signature() -> Dict[str, Any]:
+    """The implicit inputs of every cell: testbed/calibration defaults.
+
+    Cells only record *deviations* from the defaults (a cell sweeping
+    sizes carries no cluster dict at all), so the defaults themselves
+    must be in the key — recalibrating the paper testbed invalidates
+    every entry, as it should.
+    """
+    global _ENV_SIGNATURE
+    if _ENV_SIGNATURE is None:
+        from .. import __version__
+        from ..cluster.specs import ClusterSpec
+        from ..network.params import NetworkSpec
+        from ..power.model import PowerModelParams
+
+        _ENV_SIGNATURE = {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "cluster": ClusterSpec.paper_testbed().to_dict(),
+            "network": NetworkSpec().to_dict(),
+            "power": PowerModelParams().to_dict(),
+        }
+    return _ENV_SIGNATURE
+
+
+def _canonical(data: Any) -> str:
+    # sort_keys + fixed separators => byte-stable across processes/runs.
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(cell: SweepCell) -> str:
+    """Stable content address of ``cell`` (64 hex chars)."""
+    payload = _canonical({"cell": cell.spec(), "env": environment_signature()})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of content-addressed :class:`CellResult` entries."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CellResult]:
+        """Stored result for ``key``, or None (corrupt entries = miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            result = CellResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, cell: SweepCell, result: CellResult) -> None:
+        """Store ``result`` atomically (last writer wins; all write the
+        same simulated content, so the race is benign)."""
+        path = self._path(key)
+        entry = {
+            "key": key,
+            "experiment": cell.experiment,  # provenance only
+            "label": cell.label,
+            "spec": cell.spec(),
+            "result": result.to_dict(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(entry, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache dir degrades to "no cache",
+            # never to a failed sweep.
+            return
+        self.writes += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}

@@ -1,0 +1,379 @@
+"""Cell decomposition: one sweep point = one self-describing spec.
+
+A :class:`SweepCell` carries only plain data (dicts, lists, numbers,
+strings), so it pickles across a process boundary and hashes into a
+stable cache key.  :func:`execute_cell` is the pure entry point: it
+reconstitutes the full simulation substrate (via
+:meth:`repro.sim.session.SimSession.from_spec`), runs the cell's
+workload, and returns a :class:`CellResult` of plain data again.
+
+Purity contract
+---------------
+``execute_cell`` must depend on nothing but the cell: no ambient
+tracer/governor/fault scopes, no module-level mutable state, no clock.
+Seeds (e.g. a fault plan's) live *inside* the cell spec, so a cell run
+in a worker process is bit-identical to the same cell run inline — the
+property the parallel executor and the result cache both rest on.
+
+Cell kinds
+----------
+``collective``
+    ``iterations`` back-to-back collectives (the OSU loop of §VII-B),
+    optionally preceded by ``compute_s`` of computation per iteration
+    (the fault-study workload).
+``alltoallv``
+    One vector alltoall with the deterministic ±15 % skew of §VII-D.
+``mixed``
+    The mixed-size adaptive/governor workload: per size, one alltoall
+    plus one 16×-smaller bcast.
+``app``
+    One application profile (CPMD/NAS) under a static scheme or an
+    online governor policy.
+``osu``
+    One OSU microbenchmark point (latency / bw / bibw / collective).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+__all__ = ["APP_SPECS", "CellResult", "SweepCell", "execute_cell"]
+
+
+def _plain(value: Any) -> Any:
+    """Normalise to JSON-able plain data (tuples → lists, recursively),
+    so equal cells serialise identically no matter how they were built."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cell params must be plain data, got {type(value)!r}")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent simulation point of a sweep (picklable spec)."""
+
+    #: Owning experiment (provenance/labels only — NOT part of the cache
+    #: key, so experiments sharing identical cells share cache entries).
+    experiment: str
+    #: Workload dispatch: "collective" | "alltoallv" | "mixed" | "app" | "osu".
+    kind: str
+    #: Plain-data parameters of the workload (see the executors below).
+    params: Mapping[str, Any]
+    #: Human label for timing reports, e.g. "alltoall/1M/proposed".
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EXECUTORS:
+            raise ValueError(
+                f"unknown cell kind {self.kind!r} "
+                f"(choose from {', '.join(sorted(_EXECUTORS))})"
+            )
+        object.__setattr__(self, "params", _plain(dict(self.params)))
+
+    def spec(self) -> Dict[str, Any]:
+        """The content that identifies this cell (feeds the cache key)."""
+        return {"kind": self.kind, "params": self.params}
+
+
+@dataclass
+class CellResult:
+    """Plain-data outcome of one executed cell (JSON round-trippable)."""
+
+    #: Simulated quantities — identical wherever the cell runs.
+    duration_s: float = 0.0
+    energy_j: float = 0.0
+    average_power_w: float = 0.0
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    dvfs_transitions: int = 0
+    throttle_transitions: int = 0
+    #: Governor report counters (minus the bulky monitor), when governed.
+    governor: Optional[Dict[str, Any]] = None
+    #: Fault report fields, when the cell carried a fault plan.
+    faults: Optional[Dict[str, Any]] = None
+    #: Application-level quantities (app cells only).
+    app: Optional[Dict[str, Any]] = None
+    #: Kind-specific extras: sampled power trace, uplink flow counts,
+    #: scalar microbenchmark metrics.
+    extra: Dict[str, Any] = field(default_factory=dict)
+    #: Host wall-clock of the execution (NOT part of the simulated
+    #: output; excluded from experiment rows, kept for timing stats).
+    wall_time_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "duration_s": self.duration_s,
+            "energy_j": self.energy_j,
+            "average_power_w": self.average_power_w,
+            "phase_times": self.phase_times,
+            "dvfs_transitions": self.dvfs_transitions,
+            "throttle_transitions": self.throttle_transitions,
+            "governor": self.governor,
+            "faults": self.faults,
+            "app": self.app,
+            "extra": self.extra,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellResult":
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__ if k in data})
+
+
+# ---------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------
+def _session_from_params(params: Mapping, keep_segments: bool):
+    from ..sim.session import SimSession
+
+    return SimSession.from_spec(
+        {
+            "cluster": params.get("cluster"),
+            "network": params.get("network"),
+            "power": params.get("power"),
+            "governor": params.get("governor"),
+            "faults": params.get("faults"),
+            "keep_segments": keep_segments,
+        }
+    )
+
+
+def _engine(mode: str):
+    from ..collectives.registry import CollectiveConfig, CollectiveEngine, PowerMode
+
+    return CollectiveEngine(CollectiveConfig(power_mode=PowerMode(mode)))
+
+
+def _seal(job, result, session, params: Mapping) -> CellResult:
+    """Common harvest: simulated scalars + per-run reports + extras."""
+    cell = CellResult(
+        duration_s=result.duration_s,
+        energy_j=result.energy_j,
+        average_power_w=result.average_power_w,
+        phase_times=dict(result.stats.phase_times),
+        dvfs_transitions=result.stats.dvfs_transitions,
+        throttle_transitions=result.stats.throttle_transitions,
+    )
+    if session.governor is not None:
+        report = session.governor.report().to_dict()
+        report.pop("monitor", None)
+        cell.governor = report
+    if session.faults is not None:
+        from dataclasses import asdict
+
+        cell.faults = asdict(session.faults.report())
+    interval = params.get("power_trace_interval_s")
+    if interval is not None:
+        from ..power.meter import PowerMeter
+
+        trace = PowerMeter(interval).sample(result.accountant)
+        cell.extra["power_trace"] = {
+            "times_s": list(trace.times_s),
+            "power_kw": list(trace.power_kw),
+            "mean_power_w": trace.mean_power_w(),
+        }
+    prefix = params.get("link_flow_prefix")
+    if prefix is not None:
+        cell.extra["link_flows"] = sum(
+            n for name, n in job.net.fabric.link_flows.items()
+            if name.startswith(prefix)
+        )
+    return cell
+
+
+def _run_job(params: Mapping, program, keep_segments: bool) -> CellResult:
+    from ..mpi.job import MpiJob
+    from ..mpi.p2p import ProgressMode
+
+    session = _session_from_params(params, keep_segments)
+    job = MpiJob(
+        int(params["n_ranks"]),
+        session=session,
+        collectives=_engine(params.get("mode", "none")),
+        progress=ProgressMode(params.get("progress", "polling")),
+    )
+    result = job.run(program)
+    return _seal(job, result, session, params)
+
+
+def _execute_collective(params: Mapping) -> CellResult:
+    op = params["op"]
+    nbytes = int(params["nbytes"])
+    iterations = int(params.get("iterations", 1))
+    compute_s = params.get("compute_s")
+
+    def program(ctx):
+        for _ in range(iterations):
+            if compute_s is not None:
+                yield from ctx.compute(compute_s)
+            yield from getattr(ctx, op)(nbytes)
+
+    return _run_job(params, program, bool(params.get("keep_segments", False)))
+
+
+def _execute_alltoallv(params: Mapping) -> CellResult:
+    nbytes = int(params["nbytes"])
+
+    def program(ctx):
+        # §VII-D: deterministically skewed per-peer counts (±15 % around
+        # the mean) so the vector path is genuinely exercised.
+        counts = [
+            max(0, int(nbytes * (1 + 0.15 * (((ctx.rank + d) % 7 - 3) / 3))))
+            for d in range(ctx.size)
+        ]
+        yield from ctx.alltoallv(counts)
+
+    return _run_job(params, program, bool(params.get("keep_segments", False)))
+
+
+def _execute_mixed(params: Mapping) -> CellResult:
+    sizes = [int(n) for n in params["sizes"]]
+
+    def program(ctx):
+        for nbytes in sizes:
+            yield from ctx.alltoall(nbytes)
+            # Short broadcasts: engaging power here costs more than it
+            # saves — the case that separates ADAPTIVE from PROPOSED.
+            yield from ctx.bcast(nbytes // 16)
+
+    return _run_job(params, program, bool(params.get("keep_segments", False)))
+
+
+def _execute_app(params: Mapping) -> CellResult:
+    from ..apps import run_app
+    from ..collectives.registry import PowerMode
+
+    app = APP_SPECS[params["app"]]
+    governor = None
+    if params.get("governor") is not None:
+        from ..runtime.governor import Governor, GovernorConfig
+
+        governor = Governor(GovernorConfig.from_dict(params["governor"]))
+    app_result = run_app(
+        app,
+        int(params["ranks"]),
+        PowerMode(params.get("mode", "none")),
+        governor=governor,
+    )
+    result = app_result.sim
+    cell = CellResult(
+        duration_s=result.duration_s,
+        energy_j=result.energy_j,
+        average_power_w=result.average_power_w,
+        phase_times=dict(result.stats.phase_times),
+        dvfs_transitions=result.stats.dvfs_transitions,
+        throttle_transitions=result.stats.throttle_transitions,
+        app={
+            "name": app_result.app,
+            "total_time_s": app_result.total_time_s,
+            "alltoall_time_s": app_result.alltoall_time_s,
+            "alltoall_fraction": app_result.alltoall_fraction,
+            "energy_kj": app_result.energy_kj,
+        },
+    )
+    if governor is not None:
+        report = governor.report().to_dict()
+        report.pop("monitor", None)
+        cell.governor = report
+    return cell
+
+
+def _execute_osu(params: Mapping) -> CellResult:
+    from ..collectives.registry import PowerMode
+    from ..microbench import osu
+    from ..mpi.p2p import ProgressMode
+
+    bench = params["bench"]
+    nbytes = int(params["nbytes"])
+    progress = (
+        ProgressMode.BLOCKING if params.get("blocking") else ProgressMode.POLLING
+    )
+    inter_node = not params.get("intra_node", False)
+    if bench == "latency":
+        metric = osu.osu_latency(nbytes, inter_node=inter_node, progress=progress)
+        unit = "s"
+    elif bench in ("bw", "bibw"):
+        fn = osu.osu_bw if bench == "bw" else osu.osu_bibw
+        metric = fn(nbytes, inter_node=inter_node)
+        unit = "B/s"
+    else:
+        metric = osu.osu_collective_latency(
+            bench,
+            nbytes,
+            n_ranks=int(params.get("n_ranks", 64)),
+            mode=PowerMode(params.get("mode", "none")),
+            progress=progress,
+            iterations=3,
+            warmup=1,
+        )
+        unit = "s"
+    return CellResult(extra={"metric": metric, "unit": unit})
+
+
+_EXECUTORS: Dict[str, Callable[[Mapping], CellResult]] = {
+    "collective": _execute_collective,
+    "alltoallv": _execute_alltoallv,
+    "mixed": _execute_mixed,
+    "app": _execute_app,
+    "osu": _execute_osu,
+}
+
+
+def execute_cell(cell: SweepCell) -> CellResult:
+    """Run one cell to completion (pure; safe in any process)."""
+    wall0 = time.perf_counter()
+    result = _EXECUTORS[cell.kind](cell.params)
+    result.wall_time_s = time.perf_counter() - wall0
+    return result
+
+
+def _app_specs() -> Dict[str, Any]:
+    from ..apps import (
+        CPMD_TA_INP_MD,
+        CPMD_WAT32_INP1,
+        CPMD_WAT32_INP2,
+        NAS_FT,
+        NAS_IS,
+    )
+
+    return {
+        "nas-ft": NAS_FT,
+        "nas-is": NAS_IS,
+        "cpmd-wat1": CPMD_WAT32_INP1,
+        "cpmd-wat2": CPMD_WAT32_INP2,
+        "cpmd-ta": CPMD_TA_INP_MD,
+    }
+
+
+class _AppRegistry:
+    """Lazy name → :class:`~repro.apps.base.AppSpec` mapping (defers the
+    apps import so ``repro.runner`` stays cheap to import in workers)."""
+
+    def __init__(self) -> None:
+        self._specs: Optional[Dict[str, Any]] = None
+
+    def _load(self) -> Dict[str, Any]:
+        if self._specs is None:
+            self._specs = _app_specs()
+        return self._specs
+
+    def __getitem__(self, name: str):
+        return self._load()[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._load()
+
+    def __iter__(self):
+        return iter(self._load())
+
+    def keys(self) -> List[str]:
+        return sorted(self._load())
+
+
+#: Application registry shared by cells and the CLI ``app`` command.
+APP_SPECS = _AppRegistry()

@@ -1,0 +1,247 @@
+"""Parallel sweep execution with deterministic reassembly.
+
+:func:`run_cells` is the one entry point: given a list of
+:class:`~repro.runner.cells.SweepCell`, it returns their
+:class:`~repro.runner.cells.CellResult` in the *same order*, having
+satisfied each cell from (in order):
+
+1. the in-process memo — duplicates *within* a run (table1 re-requests
+   fig9's app cells) execute once per process lifetime;
+2. the on-disk content-addressed cache (unless disabled/refreshing);
+3. actual execution — inline for ``jobs == 1``, sharded across a
+   ``ProcessPoolExecutor`` otherwise.
+
+Determinism argument
+--------------------
+Every cell is a pure function of its spec (fresh ``SimSession`` per
+cell, seeds inside the spec, no ambient scopes in workers), so *where*
+a cell runs cannot change its simulated output.  Futures are collected
+in submit order — never ``as_completed`` — so reassembly order cannot
+change either.  Hence ``--jobs N`` output is byte-identical to
+``--jobs 1`` for every N.
+
+If the pool itself cannot be built (no fork, sandboxed semaphores) or
+breaks mid-flight, execution degrades to inline — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache, cache_key
+from .cells import CellResult, SweepCell, execute_cell
+
+__all__ = [
+    "SweepStats",
+    "clear_memo",
+    "load_sweep_stats",
+    "resolve_jobs",
+    "run_cells",
+    "save_sweep_stats",
+]
+
+#: In-process memo: cache key -> result.  Subsumes the old per-module
+#: ``_APP_RUN_CACHE`` in bench.experiments — any two cells with the same
+#: content share one execution within a process, across experiments.
+_MEMO: Dict[str, CellResult] = {}
+
+
+def clear_memo() -> None:
+    """Forget memoised results (tests; ``--refresh`` uses it too)."""
+    _MEMO.clear()
+
+
+def resolve_jobs(jobs: Optional[int] = None, default: int = 1) -> int:
+    """Worker count: explicit ``jobs`` > ``$REPRO_JOBS`` > ``default``.
+
+    ``default`` is 1 for library callers (no surprise forking) — the CLI
+    passes ``os.cpu_count()``.  Any resolution below 1 clamps to 1.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
+    if jobs is None:
+        jobs = default
+    return max(1, jobs)
+
+
+@dataclass
+class SweepStats:
+    """Accounting for one :func:`run_cells` call (feeds ``bench-report``)."""
+
+    experiment: str = ""
+    jobs: int = 1
+    cells_total: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    #: Distinct cells actually run (executed minus in-flight duplicates).
+    unique_executed: int = 0
+    fell_back_inline: bool = False
+    elapsed_s: float = 0.0
+    #: (label, wall_time_s) per executed cell, submit order.
+    timings: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.memo_hits + self.cache_hits
+        return hits / self.cells_total if self.cells_total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "jobs": self.jobs,
+            "cells_total": self.cells_total,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "unique_executed": self.unique_executed,
+            "fell_back_inline": self.fell_back_inline,
+            "elapsed_s": self.elapsed_s,
+            "timings": [list(t) for t in self.timings],
+        }
+
+    def one_line(self) -> str:
+        return (
+            f"sweep[{self.experiment}]: {self.cells_total} cells, "
+            f"{self.cache_hits} cache hits, {self.memo_hits} memo hits, "
+            f"{self.unique_executed} executed (jobs={self.jobs}), "
+            f"{self.elapsed_s:.2f}s"
+        )
+
+
+def _execute_pending(
+    pending: List[Tuple[int, str, SweepCell]],
+    jobs: int,
+    stats: SweepStats,
+) -> List[Tuple[int, str, CellResult]]:
+    """Run the cells that missed every cache; returns (index, key, result).
+
+    Duplicate keys *within* ``pending`` execute once; every index still
+    gets its result.
+    """
+    unique: Dict[str, Tuple[int, SweepCell]] = {}
+    order: List[str] = []
+    for idx, key, cell in pending:
+        if key not in unique:
+            unique[key] = (idx, cell)
+            order.append(key)
+    cells = [unique[k][1] for k in order]
+    stats.unique_executed = len(cells)
+    stats.executed = len(pending)
+
+    by_key: Dict[str, CellResult] = {}
+    if jobs > 1 and len(cells) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+                # Submit everything up front, then collect strictly in
+                # submit order — completion order must never matter.
+                futures = [pool.submit(execute_cell, c) for c in cells]
+                for key, future in zip(order, futures):
+                    by_key[key] = future.result()
+        except Exception:
+            # Pool infrastructure failure (fork unavailable, broken
+            # worker, pickling regression): rerun everything inline.
+            # Correctness never depends on the pool.
+            stats.fell_back_inline = True
+            by_key = {}
+    if not by_key:
+        for key, cell in zip(order, cells):
+            by_key[key] = execute_cell(cell)
+    for key, cell in zip(order, cells):
+        stats.timings.append((cell.label or key[:12], by_key[key].wall_time_s))
+    return [(idx, key, by_key[key]) for idx, key, _cell in pending]
+
+
+def run_cells(
+    cells: Sequence[SweepCell],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    refresh: bool = False,
+    stats: Optional[SweepStats] = None,
+) -> List[CellResult]:
+    """Satisfy ``cells`` (memo > disk cache > execution), in input order.
+
+    ``cache=None`` disables the on-disk layer entirely; ``refresh=True``
+    skips cache *reads* but still writes fresh results through.  Pass a
+    ``stats`` to receive the accounting.
+    """
+    import time
+
+    if stats is None:
+        stats = SweepStats()
+    stats.jobs = resolve_jobs(jobs)
+    stats.cells_total += len(cells)
+    wall0 = time.perf_counter()
+
+    results: List[Optional[CellResult]] = [None] * len(cells)
+    pending: List[Tuple[int, str, SweepCell]] = []
+    for idx, cell in enumerate(cells):
+        key = cache_key(cell)
+        if not refresh and key in _MEMO:
+            results[idx] = _MEMO[key]
+            stats.memo_hits += 1
+            continue
+        if cache is not None and not refresh:
+            hit = cache.get(key)
+            if hit is not None:
+                results[idx] = hit
+                _MEMO[key] = hit
+                stats.cache_hits += 1
+                continue
+        pending.append((idx, key, cell))
+
+    if pending:
+        for idx, key, result in _execute_pending(pending, stats.jobs, stats):
+            results[idx] = result
+            _MEMO[key] = result
+            if cache is not None:
+                cache.put(key, cells[idx], result)
+
+    stats.elapsed_s += time.perf_counter() - wall0
+    return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------
+# Last-sweep persistence (the `repro bench-report` data source)
+# ---------------------------------------------------------------------
+def _stats_path(results_dir: Optional[Path] = None) -> Path:
+    base = Path(results_dir) if results_dir is not None else Path("results")
+    return base / "last_sweep.json"
+
+
+def save_sweep_stats(
+    stats: SweepStats,
+    cache: Optional[ResultCache] = None,
+    results_dir: Optional[Path] = None,
+) -> Optional[Path]:
+    """Persist one sweep's accounting for ``repro bench-report``."""
+    path = _stats_path(results_dir)
+    payload = stats.to_dict()
+    payload["cache"] = cache.stats() if cache is not None else None
+    payload["cache_dir"] = str(cache.root) if cache is not None else None
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    except OSError:
+        return None
+    return path
+
+
+def load_sweep_stats(results_dir: Optional[Path] = None) -> Optional[Dict[str, Any]]:
+    """The last persisted sweep accounting, or None."""
+    try:
+        with open(_stats_path(results_dir), "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None

@@ -121,6 +121,29 @@ class GovernorConfig:
         if self.predictive_gain <= 0:
             raise ValueError("predictive_gain must be > 0")
 
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-able) — lets a sweep cell carry its
+        governor across a process boundary and into a cache key."""
+        return {
+            "policy": self.policy.value,
+            "theta_s": self.theta_s,
+            "predictive_theta_s": self.predictive_theta_s,
+            "drop_tstate": self.drop_tstate,
+            "drop_to_fmin": self.drop_to_fmin,
+            "min_bytes": self.min_bytes,
+            "predictive_gain": self.predictive_gain,
+            "ewma_alpha": self.ewma_alpha,
+            "warm_calls": self.warm_calls,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GovernorConfig":
+        """Inverse of :meth:`to_dict` (omitted keys take defaults)."""
+        kwargs = dict(data)
+        if "policy" in kwargs:
+            kwargs["policy"] = GovernorPolicy(kwargs["policy"])
+        return cls(**kwargs)
+
 
 class _CoreFsm:
     """Per-core governor state (one FSM instance per physical core)."""

@@ -58,6 +58,13 @@ class Environment:
         Defaults to the zero-overhead :data:`~repro.sim.trace.NULL_TRACER`.
     """
 
+    #: Compact the heap only once cancelled entries could dominate it:
+    #: when they exceed this fraction of the queue *and* the floor below.
+    COMPACT_FRACTION = 0.5
+    #: Minimum cancelled entries before compaction is worth an O(n) pass
+    #: (tiny heaps never compact — head purging already covers them).
+    COMPACT_MIN = 64
+
     def __init__(self, initial_time: float = 0.0, tracer: Optional[Tracer] = None):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
@@ -67,6 +74,10 @@ class Environment:
         #: Events popped off the queue so far — the kernel's work metric,
         #: reported by the bench self-profile.
         self.events_processed = 0
+        #: Cancelled Timer entries still buried in the heap.
+        self._cancelled_pending = 0
+        #: Full-heap compactions performed (observability/benchmarks).
+        self.compactions = 0
 
     # -- clock & introspection -------------------------------------------
     @property
@@ -99,8 +110,34 @@ class Environment:
             event = queue[0][3]
             if isinstance(event, Timer) and event.cancelled:
                 heapq.heappop(queue)
+                if self._cancelled_pending > 0:
+                    self._cancelled_pending -= 1
             else:
                 return
+
+    def _note_timer_cancelled(self) -> None:
+        """A live heap entry just became garbage (Timer.cancel hook).
+
+        Head purging alone only reclaims cancelled timers once they reach
+        the front, so a workload that arms far-out timers and cancels
+        them early (the governor under heavy churn, re-rated fabric
+        estimates) can grow the heap well past its live size — and every
+        push/pop pays the log of the *inflated* size.  Once cancelled
+        entries pass a fraction of the whole queue (was: never), rebuild
+        it without them in one O(n) pass, amortised O(1) per cancel.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACT_MIN
+            and self._cancelled_pending >= len(self._queue) * self.COMPACT_FRACTION
+        ):
+            self._queue = [
+                entry for entry in self._queue
+                if not (isinstance(entry[3], Timer) and entry[3].cancelled)
+            ]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
+            self.compactions += 1
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:

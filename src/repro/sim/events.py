@@ -194,7 +194,10 @@ class Timer(Event):
 
     def cancel(self) -> None:
         """Deactivate the timer; safe to call repeatedly, or after firing."""
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            if self._state == _TRIGGERED:  # still sitting in the heap
+                self.env._note_timer_cancelled()
         self._callback = None  # release promptly; heap entry fires as a no-op
 
     def _run_callbacks(self) -> None:

@@ -149,6 +149,58 @@ class SimSession:
         if governor is not None:
             governor.bind(self)
 
+    @classmethod
+    def from_spec(cls, spec: dict, tracer: Optional[Tracer] = None) -> "SimSession":
+        """Build a session from one plain (picklable, JSON-able) dict.
+
+        This is the worker-process entry point of the sweep runner: a
+        :class:`~repro.runner.cells.SweepCell` ships only plain data
+        across the process boundary, and the worker reconstitutes the
+        full substrate here.  Recognised keys (all optional):
+
+        * ``cluster`` / ``network`` / ``power`` — ``to_dict()`` forms of
+          :class:`~repro.cluster.specs.ClusterSpec`,
+          :class:`~repro.network.params.NetworkSpec`,
+          :class:`~repro.power.model.PowerModelParams`.
+        * ``governor`` — ``GovernorConfig.to_dict()`` form; a fresh
+          :class:`~repro.runtime.governor.Governor` is built from it.
+        * ``faults`` — ``FaultPlan.to_dict()`` form.
+        * ``keep_segments`` / ``validate`` — booleans, as in ``__init__``.
+        """
+        from ..cluster.specs import ClusterSpec
+        from ..network.params import NetworkSpec
+        from ..power.model import PowerModelParams
+
+        governor = None
+        if spec.get("governor") is not None:
+            from ..runtime.governor import Governor, GovernorConfig
+
+            governor = Governor(GovernorConfig.from_dict(spec["governor"]))
+        faults = None
+        if spec.get("faults") is not None:
+            from ..faults.plan import FaultPlan
+
+            faults = FaultPlan.from_dict(spec["faults"])
+        return cls(
+            cluster_spec=(
+                ClusterSpec.from_dict(spec["cluster"])
+                if spec.get("cluster") is not None else None
+            ),
+            network_spec=(
+                NetworkSpec.from_dict(spec["network"])
+                if spec.get("network") is not None else None
+            ),
+            power_params=(
+                PowerModelParams.from_dict(spec["power"])
+                if spec.get("power") is not None else None
+            ),
+            tracer=tracer,
+            keep_segments=spec.get("keep_segments", True),
+            validate=spec.get("validate", True),
+            governor=governor,
+            faults=faults,
+        )
+
     @property
     def now(self) -> float:
         """Current simulation time (shorthand for ``session.env.now``)."""

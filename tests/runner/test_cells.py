@@ -1,0 +1,105 @@
+"""Cell specs: validation, normalisation, purity, round-trips."""
+
+import pickle
+
+import pytest
+
+from repro.runner import CellResult, SweepCell, execute_cell
+
+
+def _tiny_cell(**overrides):
+    params = {
+        "op": "alltoall",
+        "nbytes": 16 << 10,
+        "n_ranks": 16,
+        "mode": "none",
+        "iterations": 1,
+        "progress": "polling",
+        "keep_segments": False,
+    }
+    params.update(overrides)
+    return SweepCell("test", "collective", params, label="tiny")
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown cell kind"):
+        SweepCell("test", "quantum", {})
+
+
+def test_non_plain_params_rejected():
+    with pytest.raises(TypeError, match="plain data"):
+        SweepCell("test", "collective", {"op": object()})
+
+
+def test_params_normalised_tuples_become_lists():
+    a = SweepCell("test", "mixed", {"sizes": (1, 2, 3), "n_ranks": 8})
+    b = SweepCell("test", "mixed", {"sizes": [1, 2, 3], "n_ranks": 8})
+    assert a.params == b.params
+    assert a.spec() == b.spec()
+
+
+def test_spec_excludes_provenance():
+    """experiment/label are display-only; two experiments sharing a cell
+    must produce the same spec (and therefore the same cache key)."""
+    a = _tiny_cell()
+    b = SweepCell("other-experiment", "collective", a.params, label="renamed")
+    assert a.spec() == b.spec()
+    assert "experiment" not in a.spec()
+    assert "label" not in a.spec()
+
+
+def test_cell_pickles():
+    cell = _tiny_cell()
+    clone = pickle.loads(pickle.dumps(cell))
+    assert clone == cell
+
+
+def test_cell_result_round_trip():
+    result = CellResult(
+        duration_s=1.5,
+        energy_j=2.5,
+        average_power_w=3.5,
+        phase_times={"comm": 1.0},
+        dvfs_transitions=4,
+        throttle_transitions=5,
+        governor={"drops": 1},
+        faults={"injected": 2},
+        app={"name": "ft.B.64"},
+        extra={"metric": 9.0},
+        wall_time_s=0.25,
+    )
+    clone = CellResult.from_dict(result.to_dict())
+    assert clone == result
+
+
+def test_cell_result_from_dict_ignores_unknown_keys():
+    data = CellResult(duration_s=1.0).to_dict()
+    data["future_field"] = "whatever"
+    assert CellResult.from_dict(data).duration_s == 1.0
+
+
+def test_execute_cell_is_deterministic():
+    """Same spec, fresh substrate each time => identical simulated output
+    (wall_time_s is host noise and explicitly excluded)."""
+    first = execute_cell(_tiny_cell()).to_dict()
+    second = execute_cell(_tiny_cell()).to_dict()
+    first.pop("wall_time_s")
+    second.pop("wall_time_s")
+    assert first == second
+    assert first["duration_s"] > 0
+    assert first["energy_j"] > 0
+
+
+def test_execute_cell_with_faults_is_deterministic():
+    """The fault plan's seed lives inside the spec, so perturbed cells
+    are exactly as reproducible as quiet ones."""
+    from repro.faults import parse_fault_spec
+
+    faults = parse_fault_spec("noise:period=500us,pulse=20us,frac=0.25", seed=11)
+    cell_kwargs = {"faults": faults.to_dict(), "compute_s": 100e-6}
+    first = execute_cell(_tiny_cell(**cell_kwargs)).to_dict()
+    second = execute_cell(_tiny_cell(**cell_kwargs)).to_dict()
+    first.pop("wall_time_s")
+    second.pop("wall_time_s")
+    assert first == second
+    assert first["faults"] is not None
