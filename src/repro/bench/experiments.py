@@ -129,20 +129,22 @@ def use_runner(jobs=None, cache=None, refresh: bool = False, stats=None):
 
 
 def _instrumentation_active() -> bool:
-    """True when an ambient --trace/--governor/--faults scope is live.
+    """True when an ambient --governor/--faults scope is live.
 
-    Cells are only pure *without* ambient scopes: a memoised result would
-    skip the per-run governor/fault reports the scope collects.  Plans
-    then execute directly, one fresh simulation per cell, like the
-    pre-cell code did.
+    Those scopes collect per-run report objects that only exist on a
+    live simulation, so plans under them execute directly — one fresh
+    simulation per cell, like the pre-cell code did.  Trace, metrics
+    and profile scopes no longer force the direct path: the runner
+    captures their payloads per cell and replays them deterministically
+    (see :mod:`repro.obs.capture`), so ``--trace --jobs 4`` records
+    exactly what ``--jobs 1`` does instead of silently losing the
+    worker-side stream.
     """
     from ..faults.scope import ambient_fault_scope
     from ..runtime.governor import ambient_governor_scope
-    from ..sim.trace import default_tracer
 
     return (
-        default_tracer().enabled
-        or ambient_governor_scope() is not None
+        ambient_governor_scope() is not None
         or ambient_fault_scope() is not None
     )
 

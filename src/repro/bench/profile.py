@@ -22,9 +22,30 @@ The CLI exposes it as ``python -m repro experiment <name> --profile``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, List
 
 from ..mpi.job import JOB_OBSERVERS
+
+#: Profiles currently inside their ``with`` block.  The sweep runner
+#: replays worker-captured samples into these (pool workers never fire
+#: the parent's :data:`JOB_OBSERVERS`), and
+#: :meth:`repro.obs.capture.CaptureConfig.from_ambient` keys off it.
+ACTIVE_PROFILES: List["SelfProfile"] = []
+
+
+def _remove_identity(seq: List, item) -> None:
+    """Drop the last entry that *is* ``item`` (no-op when absent).
+
+    ``list.remove`` compares by equality — bound methods of different
+    instances are unequal, but re-entering the *same* profile creates
+    equal-yet-distinct method objects and equality removal can then pull
+    out the wrong registration.  Identity + last-occurrence gives strict
+    LIFO unwinding and tolerates an entry someone else already removed.
+    """
+    for i in range(len(seq) - 1, -1, -1):
+        if seq[i] is item:
+            del seq[i]
+            return
 
 
 @dataclass
@@ -48,9 +69,12 @@ class SelfProfile:
     """Collects :class:`JobSample` s for every job run while active."""
 
     samples: List[JobSample] = field(default_factory=list)
+    #: Observer tokens pushed by __enter__, popped by __exit__ (a stack,
+    #: so re-entrant use of one instance unwinds correctly).
+    _tokens: List[Callable] = field(default_factory=list, init=False, repr=False)
 
     def _observe(self, job, result) -> None:
-        self.samples.append(
+        self.add_sample(
             JobSample(
                 n_ranks=job.n_ranks,
                 sim_time_s=result.duration_s,
@@ -61,12 +85,30 @@ class SelfProfile:
             )
         )
 
+    def add_sample(self, sample: JobSample) -> None:
+        """Record one job sample (direct observation or runner replay)."""
+        self.samples.append(sample)
+
     def __enter__(self) -> "SelfProfile":
-        JOB_OBSERVERS.append(self._observe)
+        # Bind the method ONCE and remember the exact object appended:
+        # each `self._observe` access builds a fresh (equal but distinct)
+        # bound method, so exit-time removal must go by identity.
+        token = self._observe
+        self._tokens.append(token)
+        JOB_OBSERVERS.append(token)
+        ACTIVE_PROFILES.append(self)
         return self
 
     def __exit__(self, *exc) -> None:
-        JOB_OBSERVERS.remove(self._observe)
+        token = self._tokens.pop() if self._tokens else None
+        try:
+            if token is not None:
+                _remove_identity(JOB_OBSERVERS, token)
+        finally:
+            # Deregister from the replay list even if the observer list
+            # was concurrently mutated/raised — a leaked entry here would
+            # keep feeding a dead profile forever.
+            _remove_identity(ACTIVE_PROFILES, self)
 
     # -- aggregates --------------------------------------------------------
     @property

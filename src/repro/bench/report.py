@@ -125,3 +125,38 @@ def render_sweep_report(stats: dict) -> str:
         lines.append("")
         lines.append(format_table(["slowest cells", "wall (s)"], slowest))
     return "\n".join(lines) + "\n"
+
+
+def render_metrics_report(snapshot: dict) -> str:
+    """Render a metrics snapshot (``repro bench-report --metrics``).
+
+    ``snapshot`` is :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+    output: counters, gauges, and folded time-series stats.
+    """
+    lines = ["== metrics =="]
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    scalar_rows = [(name, counters[name]) for name in sorted(counters)]
+    scalar_rows += [(name, gauges[name]) for name in sorted(gauges)]
+    if scalar_rows:
+        lines.append(format_table(["counter / gauge", "value"], scalar_rows))
+    series = snapshot.get("series") or {}
+    if series:
+        rows = [
+            (
+                name,
+                int(series[name].get("n", 0)),
+                series[name].get("mean", 0.0),
+                series[name].get("twa", 0.0),
+                series[name].get("min", 0.0),
+                series[name].get("max", 0.0),
+            )
+            for name in sorted(series)
+        ]
+        lines.append("")
+        lines.append(
+            format_table(["series", "n", "mean", "twa", "min", "max"], rows)
+        )
+    if not scalar_rows and not series:
+        lines.append("(empty snapshot)")
+    return "\n".join(lines) + "\n"

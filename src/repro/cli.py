@@ -14,15 +14,21 @@ Commands
     List the available experiments.
 ``bench-report``
     Print cache statistics and per-cell timings from the last sweep run.
+``trace-export``
+    Convert a ``--trace`` JSONL file to a viewer format (Chrome trace
+    JSON for chrome://tracing or https://ui.perfetto.dev).
 
 The ``experiment`` / ``osu`` / ``app`` commands accept ``--jobs N`` to
 shard their independent simulation cells across worker processes and
 ``--cache-dir`` / ``--no-cache`` / ``--refresh`` to control the
 content-addressed result cache (see :mod:`repro.runner`).  Parallel
-output is bit-identical to serial output.  The instrumentation flags
-(``--trace`` / ``--profile`` / ``--governor`` / ``--faults``) need one
-fresh simulation per run to collect their per-run reports, so they
-bypass the runner entirely.
+output is bit-identical to serial output.  The observability flags
+(``--trace`` / ``--metrics`` / ``--profile``) ride through the runner:
+each cell captures its payload wherever it runs and the parent replays
+payloads in submit order (see :mod:`repro.obs`), so ``--jobs 4`` records
+exactly what ``--jobs 1`` does.  Only ``--governor`` / ``--faults``
+still need one fresh simulation per run (their scopes collect live
+per-run report objects) and bypass the runner.
 """
 
 from __future__ import annotations
@@ -116,6 +122,11 @@ def _add_instrumentation_flags(subparser: argparse.ArgumentParser) -> None:
              "(schema: repro.sim.trace)",
     )
     subparser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write a JSON metrics snapshot (counters / gauges / "
+             "sim-clock series; schema: repro.obs.metrics) to FILE",
+    )
+    subparser.add_argument(
         "--profile", action="store_true",
         help="print a wall-clock self-profile of the simulator afterwards",
     )
@@ -163,11 +174,16 @@ def _add_runner_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _instrumentation_requested(args) -> bool:
+def _direct_instrumentation_requested(args) -> bool:
+    """True when a flag needs direct (runner-bypassing) execution.
+
+    Only governor/fault scopes qualify: they collect live per-run report
+    objects.  ``--trace`` / ``--metrics`` / ``--profile`` payloads are
+    captured per cell and replayed by the runner (repro.obs.capture), so
+    they keep parallel execution and caching.
+    """
     return bool(
-        getattr(args, "trace", None) is not None
-        or getattr(args, "profile", False)
-        or getattr(args, "governor", None) is not None
+        getattr(args, "governor", None) is not None
         or getattr(args, "faults", None) is not None
     )
 
@@ -197,6 +213,7 @@ class _RunnerSetup:
     def finish(self) -> None:
         """Print the run summary (stderr keeps stdout byte-comparable
         across warm/cold runs) and persist it for ``bench-report``."""
+        from .obs.metrics import ambient_metrics_registry
         from .runner import save_sweep_stats
 
         line = self.stats.one_line()
@@ -207,7 +224,11 @@ class _RunnerSetup:
                 f" / {cs['writes']} writes ({self.cache.root})"
             )
         print(line, file=sys.stderr)
-        save_sweep_stats(self.stats, cache=self.cache)
+        registry = ambient_metrics_registry()
+        save_sweep_stats(
+            self.stats, cache=self.cache,
+            metrics=registry.snapshot() if registry is not None else None,
+        )
 
 
 def _fault_plan(args):
@@ -250,17 +271,19 @@ def _governor_config(args):
 
 
 def _instrumented(args, out, fn: Callable[[], int]) -> int:
-    """Run ``fn`` under the --trace / --profile / --governor / --faults
-    scopes."""
+    """Run ``fn`` under the --trace / --metrics / --profile /
+    --governor / --faults scopes."""
     from .bench.profile import SelfProfile
     from .sim.trace import JsonlTracer, use_tracer
 
     trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
     profile = SelfProfile() if getattr(args, "profile", False) else None
     governor_config = _governor_config(args)
     fault_plan = _fault_plan(args)
     with contextlib.ExitStack() as stack:
         tracer = None
+        registry = None
         governor_scope = None
         fault_scope = None
         if trace_path is not None:
@@ -270,6 +293,11 @@ def _instrumented(args, out, fn: Callable[[], int]) -> int:
                 print(f"cannot open trace file {trace_path!r}: {exc}", file=out)
                 return 2
             stack.enter_context(use_tracer(tracer))
+        if metrics_path is not None:
+            from .obs.metrics import MetricsRegistry, use_metrics
+
+            registry = MetricsRegistry()
+            stack.enter_context(use_metrics(registry))
         if governor_config is not None:
             from .runtime import use_governor
 
@@ -286,6 +314,18 @@ def _instrumented(args, out, fn: Callable[[], int]) -> int:
             f"wrote {tracer.records_written} trace records to {trace_path}",
             file=out,
         )
+    if registry is not None:
+        import json
+
+        snapshot = registry.snapshot()
+        try:
+            with open(metrics_path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        except OSError as exc:
+            print(f"cannot write metrics file {metrics_path!r}: {exc}", file=out)
+            return 2
+        n = len(snapshot["counters"]) + len(snapshot["gauges"]) + len(snapshot["series"])
+        print(f"wrote {n} metrics to {metrics_path}", file=out)
     if governor_scope is not None and governor_scope.reports:
         from .runtime import merge_reports
 
@@ -369,6 +409,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir", default="results", metavar="DIR",
         help="directory holding last_sweep.json (default: results)",
     )
+    p_report.add_argument(
+        "--metrics", action="store_true",
+        help="also print the metrics snapshot captured by the last sweep "
+             "(requires the sweep to have run under --metrics)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace-export",
+        help="convert a --trace JSONL file to a trace-viewer format",
+    )
+    p_trace.add_argument(
+        "trace", metavar="TRACE.jsonl",
+        help="JSONL trace written by --trace (schema: repro.sim.trace)",
+    )
+    p_trace.add_argument(
+        "--format", choices=["chrome"], default="chrome",
+        help="output format (chrome: Trace Event JSON for "
+             "chrome://tracing / https://ui.perfetto.dev)",
+    )
+    p_trace.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="output path (default: alongside the input, "
+             ".jsonl -> .chrome.json)",
+    )
     return parser
 
 
@@ -393,9 +457,9 @@ def cmd_info(out) -> int:
 
 
 def cmd_experiment(name: str, out, json_dir=None, args=None) -> int:
-    if args is None or _instrumentation_requested(args):
-        # Instrumented runs need one fresh simulation per cell for their
-        # per-run reports; the experiment detects the scopes itself.
+    if args is None or _direct_instrumentation_requested(args):
+        # Governed/faulted runs need one fresh simulation per cell for
+        # their per-run reports; the experiment detects the scopes itself.
         headers, rows, notes = EXPERIMENTS[name]()
     else:
         setup = _RunnerSetup(args, experiment=name)
@@ -417,7 +481,7 @@ def cmd_osu(args, out) -> int:
     sizes = [args.size] if args.size is not None else list(osu.DEFAULT_SIZES[2:9])
     mode = _power_mode(args.mode)
     metrics: List[float]
-    if not _instrumentation_requested(args):
+    if not _direct_instrumentation_requested(args):
         from .runner import SweepCell
 
         setup = _RunnerSetup(args, experiment=f"osu-{args.bench}")
@@ -471,7 +535,7 @@ def cmd_osu(args, out) -> int:
 
 
 def cmd_app(args, out) -> int:
-    if not _instrumentation_requested(args):
+    if not _direct_instrumentation_requested(args):
         from .runner import SweepCell
 
         setup = _RunnerSetup(args, experiment=f"app-{args.name}")
@@ -519,6 +583,39 @@ def cmd_bench_report(args, out) -> int:
         )
         return 1
     print(render_sweep_report(stats), file=out, end="")
+    if getattr(args, "metrics", False):
+        from .bench.report import render_metrics_report
+
+        snapshot = stats.get("metrics")
+        if snapshot:
+            print(render_metrics_report(snapshot), file=out, end="")
+        else:
+            print(
+                "no metrics in the last sweep; rerun it with "
+                "--metrics FILE to capture them",
+                file=out,
+            )
+    return 0
+
+
+def cmd_trace_export(args, out) -> int:
+    from .obs.chrome import export_chrome_trace
+
+    src = Path(args.trace)
+    dst = Path(args.out) if args.out else src.with_suffix(".chrome.json")
+    try:
+        info = export_chrome_trace(str(src), str(dst))
+    except OSError as exc:
+        print(f"cannot export trace {str(src)!r}: {exc}", file=out)
+        return 2
+    except ValueError as exc:
+        print(f"bad trace file {str(src)!r}: {exc}", file=out)
+        return 2
+    print(
+        f"exported {info['records']} records as {info['events']} Chrome "
+        f"trace events to {dst}",
+        file=out,
+    )
     return 0
 
 
@@ -559,6 +656,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _instrumented(args, out, lambda: cmd_app(args, out))
     if args.command == "bench-report":
         return cmd_bench_report(args, out)
+    if args.command == "trace-export":
+        return cmd_trace_export(args, out)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -88,9 +88,18 @@ def _canonical(data: Any) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
-def cache_key(cell: SweepCell) -> str:
-    """Stable content address of ``cell`` (64 hex chars)."""
-    payload = _canonical({"cell": cell.spec(), "env": environment_signature()})
+def cache_key(cell: SweepCell, capture: Optional[Any] = None) -> str:
+    """Stable content address of ``cell`` (64 hex chars).
+
+    ``capture`` (a :class:`~repro.obs.capture.CaptureConfig`) joins the
+    key only when truthy: a captured result carries an observability
+    payload an uncaptured one lacks, so they must be distinct entries —
+    but every pre-existing uncaptured key stays valid (no schema bump).
+    """
+    data: Dict[str, Any] = {"cell": cell.spec(), "env": environment_signature()}
+    if capture:
+        data["capture"] = capture.to_dict()
+    payload = _canonical(data)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

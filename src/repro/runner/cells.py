@@ -101,6 +101,12 @@ class CellResult:
     #: Kind-specific extras: sampled power trace, uplink flow counts,
     #: scalar microbenchmark metrics.
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Observability payload (``CellMetrics.to_dict()`` form) captured
+    #: when the caller asked for it — trace records, metrics snapshot,
+    #: profile samples.  Simulated content only (plus the original
+    #: execution's wall clock in profile samples), so it round-trips
+    #: the result cache like everything else.  None when not captured.
+    metrics: Optional[Dict[str, Any]] = None
     #: Host wall-clock of the execution (NOT part of the simulated
     #: output; excluded from experiment rows, kept for timing stats).
     wall_time_s: float = 0.0
@@ -117,6 +123,7 @@ class CellResult:
             "faults": self.faults,
             "app": self.app,
             "extra": self.extra,
+            "metrics": self.metrics,
             "wall_time_s": self.wall_time_s,
         }
 
@@ -324,10 +331,29 @@ _EXECUTORS: Dict[str, Callable[[Mapping], CellResult]] = {
 }
 
 
-def execute_cell(cell: SweepCell) -> CellResult:
-    """Run one cell to completion (pure; safe in any process)."""
+def execute_cell(cell: SweepCell, capture: Optional[Any] = None) -> CellResult:
+    """Run one cell to completion (pure; safe in any process).
+
+    ``capture`` is an optional
+    :class:`~repro.obs.capture.CaptureConfig`.  When truthy, the cell
+    runs inside a hermetic :func:`~repro.obs.capture.capture_cell`
+    scope and its observability payload (trace records, metrics
+    snapshot, profile samples) is sealed into ``result.metrics`` as
+    plain data — the parent process replays it in submit order (see
+    :func:`~repro.runner.pool.run_cells`), so ``--jobs N`` observes
+    exactly what ``--jobs 1`` observes.  The scope shadows all ambient
+    instrumentation, so the cell itself stays a pure function of
+    ``(cell, capture)``.
+    """
     wall0 = time.perf_counter()
-    result = _EXECUTORS[cell.kind](cell.params)
+    if capture:
+        from ..obs.capture import capture_cell
+
+        with capture_cell(capture) as cap:
+            result = _EXECUTORS[cell.kind](cell.params)
+        result.metrics = cap.seal()
+    else:
+        result = _EXECUTORS[cell.kind](cell.params)
     result.wall_time_s = time.perf_counter() - wall0
     return result
 

@@ -123,11 +123,14 @@ def _execute_pending(
     pending: List[Tuple[int, str, SweepCell]],
     jobs: int,
     stats: SweepStats,
+    capture: Optional[Any] = None,
 ) -> List[Tuple[int, str, CellResult]]:
     """Run the cells that missed every cache; returns (index, key, result).
 
     Duplicate keys *within* ``pending`` execute once; every index still
-    gets its result.
+    gets its result.  ``capture`` rides along to every
+    :func:`~repro.runner.cells.execute_cell` call — worker or inline —
+    so the observability payload is collected identically either way.
     """
     unique: Dict[str, Tuple[int, SweepCell]] = {}
     order: List[str] = []
@@ -145,7 +148,7 @@ def _execute_pending(
             with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
                 # Submit everything up front, then collect strictly in
                 # submit order — completion order must never matter.
-                futures = [pool.submit(execute_cell, c) for c in cells]
+                futures = [pool.submit(execute_cell, c, capture) for c in cells]
                 for key, future in zip(order, futures):
                     by_key[key] = future.result()
         except Exception:
@@ -156,7 +159,7 @@ def _execute_pending(
             by_key = {}
     if not by_key:
         for key, cell in zip(order, cells):
-            by_key[key] = execute_cell(cell)
+            by_key[key] = execute_cell(cell, capture)
     for key, cell in zip(order, cells):
         stats.timings.append((cell.label or key[:12], by_key[key].wall_time_s))
     return [(idx, key, by_key[key]) for idx, key, _cell in pending]
@@ -168,12 +171,24 @@ def run_cells(
     cache: Optional[ResultCache] = None,
     refresh: bool = False,
     stats: Optional[SweepStats] = None,
+    capture: Optional[Any] = None,
 ) -> List[CellResult]:
     """Satisfy ``cells`` (memo > disk cache > execution), in input order.
 
     ``cache=None`` disables the on-disk layer entirely; ``refresh=True``
     skips cache *reads* but still writes fresh results through.  Pass a
     ``stats`` to receive the accounting.
+
+    ``capture`` controls observability collection (a
+    :class:`~repro.obs.capture.CaptureConfig`); ``None`` derives it from
+    the calling process's ambient scopes (``--trace`` tracer, metrics
+    registry, active self-profiles).  When any channel is on, every cell
+    — worker-run, inline, memoised or cache-served — carries a sealed
+    payload, and this function replays the payloads into the live scopes
+    here in the parent, once per unique cell in input order.  Replay
+    order therefore depends only on the input sequence, never on ``jobs``
+    or on which layer satisfied a cell: ``--jobs N`` and a warm-cache
+    rerun observe byte-identical streams.
     """
     import time
 
@@ -183,10 +198,17 @@ def run_cells(
     stats.cells_total += len(cells)
     wall0 = time.perf_counter()
 
+    if capture is None:
+        from ..obs.capture import CaptureConfig
+
+        capture = CaptureConfig.from_ambient()
+
     results: List[Optional[CellResult]] = [None] * len(cells)
     pending: List[Tuple[int, str, SweepCell]] = []
+    keys: List[str] = []
     for idx, cell in enumerate(cells):
-        key = cache_key(cell)
+        key = cache_key(cell, capture)
+        keys.append(key)
         if not refresh and key in _MEMO:
             results[idx] = _MEMO[key]
             stats.memo_hits += 1
@@ -201,11 +223,23 @@ def run_cells(
         pending.append((idx, key, cell))
 
     if pending:
-        for idx, key, result in _execute_pending(pending, stats.jobs, stats):
+        for idx, key, result in _execute_pending(
+            pending, stats.jobs, stats, capture
+        ):
             results[idx] = result
             _MEMO[key] = result
             if cache is not None:
                 cache.put(key, cells[idx], result)
+
+    if capture:
+        from ..obs.capture import replay_payload
+
+        seen: set = set()
+        for idx, key in enumerate(keys):
+            if key in seen:
+                continue
+            seen.add(key)
+            replay_payload(results[idx].metrics)
 
     stats.elapsed_s += time.perf_counter() - wall0
     return results  # type: ignore[return-value]
@@ -223,12 +257,18 @@ def save_sweep_stats(
     stats: SweepStats,
     cache: Optional[ResultCache] = None,
     results_dir: Optional[Path] = None,
+    metrics: Optional[Dict[str, Any]] = None,
 ) -> Optional[Path]:
-    """Persist one sweep's accounting for ``repro bench-report``."""
+    """Persist one sweep's accounting for ``repro bench-report``.
+
+    ``metrics`` is an optional :class:`~repro.obs.metrics.MetricsRegistry`
+    snapshot; when given, ``bench-report --metrics`` can render it later.
+    """
     path = _stats_path(results_dir)
     payload = stats.to_dict()
     payload["cache"] = cache.stats() if cache is not None else None
     payload["cache_dir"] = str(cache.root) if cache is not None else None
+    payload["metrics"] = metrics
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:

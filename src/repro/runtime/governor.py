@@ -352,7 +352,19 @@ class Governor:
         """
         st = self._fsm(ctx)
         st.waiting = False
-        self.monitor.record_wait(ctx.core.core_id, self.env.now - st.wait_t0)
+        wait_s = self.env.now - st.wait_t0
+        self.monitor.record_wait(ctx.core.core_id, wait_s)
+        tracer = self.session.tracer if self.session is not None else None
+        if tracer is not None and tracer.enabled:
+            # Publish the slack estimate on the trace bus so repro.obs
+            # can chart governor behaviour without coupling to it.
+            # Observes only (marks never steer): timelines stay
+            # byte-identical with tracing on or off.
+            tracer.mark(
+                self.env.now, "governor.slack",
+                core=ctx.core.core_id, wait_s=wait_s,
+                ewma_s=self.monitor.mean_wait_s(ctx.core.core_id),
+            )
         if st.timer is not None:
             st.timer.cancel()
             st.timer = None

@@ -11,10 +11,17 @@ through :func:`repro.bench.export.save_governor_json` (the CLI writes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
-__all__ = ["GovernorReport", "merge_reports"]
+__all__ = ["GovernorReport", "NON_SUMMABLE_FIELDS", "merge_reports"]
+
+#: Fields that do not sum across runs: configuration (first run's values
+#: are kept — one CLI scope uses one config) and the per-run monitor
+#: detail (replaced by a merge marker).  Every OTHER field is summed by
+#: :func:`merge_reports` automatically — adding a counter to
+#: :class:`GovernorReport` cannot silently drop it from merged output.
+NON_SUMMABLE_FIELDS = frozenset({"policy", "theta_us", "monitor"})
 
 
 @dataclass
@@ -55,26 +62,9 @@ class GovernorReport:
     monitor: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
-        return {
-            "policy": self.policy,
-            "theta_us": self.theta_us,
-            "calls_observed": self.calls_observed,
-            "waits_observed": self.waits_observed,
-            "total_wait_s": self.total_wait_s,
-            "timers_armed": self.timers_armed,
-            "timers_cancelled": self.timers_cancelled,
-            "drops": self.drops,
-            "restores": self.restores,
-            "traffic_restores": self.traffic_restores,
-            "socket_throttles": self.socket_throttles,
-            "prescales": self.prescales,
-            "cold_decisions": self.cold_decisions,
-            "mispredictions": self.mispredictions,
-            "missed_engagements": self.missed_engagements,
-            "penalty_s": self.penalty_s,
-            "estimated_saving_j": self.estimated_saving_j,
-            "monitor": self.monitor,
-        }
+        # Derived from fields() so a new counter can never be forgotten
+        # here (field order == declaration order == export order).
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def one_line(self) -> str:
         """Terse summary for CLI output."""
@@ -91,29 +81,21 @@ class GovernorReport:
 def merge_reports(reports: List[GovernorReport]) -> Optional[GovernorReport]:
     """Sum counter fields across runs (a CLI experiment runs many jobs).
 
-    The merged report keeps the first run's policy/θ (one CLI scope uses
-    one config) and drops the per-run monitor detail, which does not merge
-    meaningfully; per-run monitors stay available on the individual
-    reports.
+    The summed set is *derived* from ``dataclasses.fields()`` minus the
+    explicit :data:`NON_SUMMABLE_FIELDS` exclusion list — the previous
+    hand-maintained sum silently dropped any counter added after it was
+    written (``prescales``, ``estimated_saving_j`` and ``penalty_s`` all
+    drifted that way at one point or another).  The merged report keeps
+    the first run's policy/θ (one CLI scope uses one config) and drops
+    the per-run monitor detail, which does not merge meaningfully;
+    per-run monitors stay available on the individual reports.
     """
     if not reports:
         return None
     merged = GovernorReport(policy=reports[0].policy, theta_us=reports[0].theta_us)
-    for r in reports:
-        merged.calls_observed += r.calls_observed
-        merged.waits_observed += r.waits_observed
-        merged.total_wait_s += r.total_wait_s
-        merged.timers_armed += r.timers_armed
-        merged.timers_cancelled += r.timers_cancelled
-        merged.drops += r.drops
-        merged.restores += r.restores
-        merged.traffic_restores += r.traffic_restores
-        merged.socket_throttles += r.socket_throttles
-        merged.prescales += r.prescales
-        merged.cold_decisions += r.cold_decisions
-        merged.mispredictions += r.mispredictions
-        merged.missed_engagements += r.missed_engagements
-        merged.penalty_s += r.penalty_s
-        merged.estimated_saving_j += r.estimated_saving_j
+    for f in fields(GovernorReport):
+        if f.name in NON_SUMMABLE_FIELDS:
+            continue
+        setattr(merged, f.name, sum(getattr(r, f.name) for r in reports))
     merged.monitor = {"runs_merged": len(reports)}
     return merged

@@ -119,6 +119,21 @@ class SimSession:
                     "inconsistent session specs:\n  - " + "\n  - ".join(problems)
                 )
         self.tracer: Tracer = default_tracer() if tracer is None else tracer
+        # An ambient metrics registry (repro.obs `use_metrics` scope) tees
+        # into the trace bus here — one MetricsTracer per session, since
+        # its derived state (per-core frequency, in-flight flows) tracks
+        # one session's clock.  No scope, no tee, no overhead.
+        from ..obs.metrics import MetricsTracer, ambient_metrics_registry
+
+        registry = ambient_metrics_registry()
+        if registry is not None:
+            from .trace import TeeTracer
+
+            metrics_tracer = MetricsTracer(registry)
+            self.tracer = (
+                TeeTracer([self.tracer, metrics_tracer])
+                if self.tracer.enabled else metrics_tracer
+            )
         self.env: Environment = Environment(tracer=self.tracer)
         self.cluster: "Cluster" = Cluster(self.cluster_spec)
         self.cluster.attach_tracer(self.tracer)

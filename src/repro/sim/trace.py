@@ -35,7 +35,11 @@ Event types (the ``type`` field of every record)
                      (``links``, ``factor``) per capacity event,
                      ``fault.noise`` (``core``, ``pulses``) per insertion
 ``mark``             free-form annotation from model code
-                     (``name`` plus arbitrary extra fields)
+                     (``name`` plus arbitrary extra fields).  Notable
+                     producer: the online governor emits
+                     ``name="governor.slack"`` (``core``, ``wait_s``,
+                     ``ewma_s``) at every wait exit, feeding the
+                     slack-EWMA metric series (repro.obs)
 
 Every record also carries ``t``, the simulation time in seconds.
 
@@ -150,23 +154,39 @@ class JsonlTracer(Tracer):
     """Streams records as JSON lines to a file (the ``--trace`` backend).
 
     Accepts a path (opened and owned; closed by :meth:`close`) or any
-    writable text file object (borrowed; left open).
+    writable text file object (borrowed; left open).  The stream is
+    flushed every ``flush_every`` records so a crashed or killed run
+    loses at most that many trailing records, not the whole buffered
+    tail.  :meth:`close` is idempotent; :meth:`emit` after close raises
+    ``ValueError`` instead of silently writing into a closed (or
+    no-longer-owned) sink.
     """
 
-    def __init__(self, sink: Union[str, IO[str]]):
+    def __init__(self, sink: Union[str, IO[str]], flush_every: int = 1024):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         if isinstance(sink, str):
             self._file: IO[str] = open(sink, "w")
             self._owns = True
         else:
             self._file = sink
             self._owns = False
+        self.flush_every = flush_every
         self.records_written = 0
+        self._closed = False
 
     def emit(self, t: float, type: str, **data: Any) -> None:
+        if self._closed:
+            raise ValueError("emit() on a closed JsonlTracer")
         self._file.write(json.dumps({"t": t, "type": type, **data}) + "\n")
         self.records_written += 1
+        if self.records_written % self.flush_every == 0:
+            self._file.flush()
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._file.flush()
         if self._owns:
             self._file.close()
@@ -176,6 +196,28 @@ class JsonlTracer(Tracer):
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class TeeTracer(Tracer):
+    """Fans every record out to several child tracers.
+
+    Built by :class:`~repro.sim.session.SimSession` when an ambient
+    metrics registry is active alongside a record tracer; closing the
+    tee closes its children (matching the session's single-tracer
+    close semantics).
+    """
+
+    def __init__(self, children: List[Tracer]):
+        self.children = [c for c in children if c is not None]
+
+    def emit(self, t: float, type: str, **data: Any) -> None:
+        for child in self.children:
+            if child.enabled:
+                child.emit(t, type, **data)
+
+    def close(self) -> None:
+        for child in self.children:
+            child.close()
 
 
 # -- ambient default -------------------------------------------------------

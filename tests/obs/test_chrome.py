@@ -1,0 +1,151 @@
+"""Chrome trace-event exporter: structure, pairing, round-trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.mpi.job import MpiJob
+from repro.obs.chrome import chrome_trace, export_chrome_trace, read_jsonl_records
+from repro.sim.session import SimSession
+from repro.sim.trace import JsonlTracer
+
+
+def _traced_run(n_ranks=8, nbytes=16 << 10):
+    """Run one collective under a JSONL tracer; return the record dicts."""
+    buf = io.StringIO()
+    tracer = JsonlTracer(buf, flush_every=1)
+
+    def program(ctx):
+        yield from ctx.alltoall(nbytes)
+
+    session = SimSession(tracer=tracer)
+    MpiJob(n_ranks, session=session).run(program)
+    tracer.close()
+    buf.seek(0)
+    return list(read_jsonl_records(buf))
+
+
+def test_empty_trace():
+    trace = chrome_trace([])
+    # Metadata only; still a loadable document.
+    assert all(e["ph"] == "M" for e in trace["traceEvents"])
+    json.dumps(trace)
+
+
+def test_round_trip_structure():
+    records = _traced_run()
+    assert records, "the traced run must produce records"
+
+    # Satellite check: every flow.start pairs 1:1 with a flow.finish by seq.
+    start_seqs = [r["seq"] for r in records if r["type"] == "flow.start"]
+    finish_seqs = [r["seq"] for r in records if r["type"] == "flow.finish"]
+    assert start_seqs, "alltoall must start flows"
+    assert sorted(start_seqs) == sorted(finish_seqs)
+    assert len(set(start_seqs)) == len(start_seqs)
+
+    trace = chrome_trace(records)
+    events = trace["traceEvents"]
+    json.dumps(trace)  # serializable document
+
+    # Every non-metadata event must carry the mandatory TEF keys.
+    body = [e for e in events if e["ph"] != "M"]
+    assert body
+    for e in body:
+        assert {"ph", "pid", "tid", "ts", "name"} <= set(e)
+        assert e["ts"] >= 0
+
+    # Chrome timestamps come out monotonically non-decreasing.
+    ts = [e["ts"] for e in body]
+    assert ts == sorted(ts)
+
+    # One complete flow slice per flow.finish record.
+    flow_slices = [e for e in body if e.get("cat") == "flow"]
+    assert len(flow_slices) == len(finish_seqs)
+    assert sorted(e["args"]["seq"] for e in flow_slices) == sorted(finish_seqs)
+
+    # Durations in the slices equal the simulated durations (in us).
+    by_seq = {r["seq"]: r for r in records if r["type"] == "flow.finish"}
+    for e in flow_slices:
+        assert e["dur"] == pytest.approx(by_seq[e["args"]["seq"]]["duration"] * 1e6)
+
+    # Rank tracks exist and are named via metadata.
+    thread_names = [
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert any(name.startswith("rank") for name in thread_names)
+
+
+def test_overlapping_flows_get_distinct_lanes():
+    records = [
+        {"t": 0.0, "type": "flow.start", "flow": "a", "bytes": 10, "links": [], "seq": 0},
+        {"t": 0.0, "type": "flow.start", "flow": "b", "bytes": 10, "links": [], "seq": 1},
+        {"t": 1.0, "type": "flow.finish", "flow": "a", "bytes": 10, "start": 0.0,
+         "links": [], "seq": 0, "delivered": 10, "duration": 1.0},
+        {"t": 1.0, "type": "flow.finish", "flow": "b", "bytes": 10, "start": 0.0,
+         "links": [], "seq": 1, "delivered": 10, "duration": 1.0},
+    ]
+    trace = chrome_trace(records)
+    lanes = {e["args"]["seq"]: e["tid"] for e in trace["traceEvents"]
+             if e.get("cat") == "flow"}
+    assert lanes[0] != lanes[1]
+
+
+def test_sequential_flows_share_a_lane():
+    records = [
+        {"t": 1.0, "type": "flow.finish", "flow": "a", "bytes": 10, "start": 0.0,
+         "links": [], "seq": 0, "delivered": 10, "duration": 1.0},
+        {"t": 3.0, "type": "flow.finish", "flow": "b", "bytes": 10, "start": 2.0,
+         "links": [], "seq": 1, "delivered": 10, "duration": 1.0},
+    ]
+    trace = chrome_trace(records)
+    lanes = {e["args"]["seq"]: e["tid"] for e in trace["traceEvents"]
+             if e.get("cat") == "flow"}
+    assert lanes[0] == lanes[1] == 0
+
+
+def test_counters_and_instants():
+    records = [
+        {"t": 0.0, "type": "core.frequency", "core": 0, "node": 0,
+         "old": 2.4, "new": 0.8},
+        {"t": 0.1, "type": "core.tstate", "core": 0, "node": 0, "old": 0, "new": 7},
+        {"t": 0.2, "type": "fault.link", "links": ["x"], "factor": 0.5},
+        {"t": 0.3, "type": "mark", "name": "governor.slack", "core": 0,
+         "wait_s": 1e-4, "ewma_s": 2e-4},
+    ]
+    trace = chrome_trace(records)
+    body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+    names = {e["name"] for e in body}
+    assert "mean_frequency_ghz" in names
+    assert "throttled_cores" in names
+    assert "fault.link" in names
+    assert "slack_ewma_us" in names
+    slack = next(e for e in body if e["name"] == "slack_ewma_us")
+    assert slack["args"]["value"] == pytest.approx(200.0)
+
+
+def test_read_jsonl_tolerates_torn_tail():
+    fh = io.StringIO('{"t": 0.0, "type": "mark", "name": "a"}\n{"t": 1.0, "ty')
+    records = list(read_jsonl_records(fh))
+    assert len(records) == 1
+
+
+def test_read_jsonl_rejects_mid_file_corruption():
+    fh = io.StringIO('not json\n{"t": 0.0, "type": "mark", "name": "a"}\n')
+    with pytest.raises(ValueError, match="line 1"):
+        read_jsonl_records(fh)
+
+
+def test_export_chrome_trace(tmp_path):
+    src = tmp_path / "run.jsonl"
+    with JsonlTracer(str(src), flush_every=1) as tracer:
+        tracer.mark(0.0, "begin")
+        tracer.flow_start(0.0, "f", 10.0, ["l"], seq=0)
+        tracer.flow_finish(1.0, "f", 10.0, 0.0, ["l"], seq=0)
+    dst = tmp_path / "run.chrome.json"
+    info = export_chrome_trace(str(src), str(dst))
+    assert info["records"] == 3
+    doc = json.loads(dst.read_text())
+    assert "traceEvents" in doc
+    assert info["events"] == len(doc["traceEvents"])

@@ -1,0 +1,53 @@
+"""merge_reports derives its summed set from fields() — drift-proof."""
+
+from dataclasses import fields
+
+from repro.runtime.telemetry import (
+    NON_SUMMABLE_FIELDS,
+    GovernorReport,
+    merge_reports,
+)
+
+
+def test_every_field_is_summed_or_explicitly_excluded():
+    """The drift guard: adding a field to GovernorReport without either
+    summable semantics or an exclusion entry must fail loudly here."""
+    names = {f.name for f in fields(GovernorReport)}
+    assert NON_SUMMABLE_FIELDS <= names, "exclusions must name real fields"
+
+    a = GovernorReport(policy="countdown", theta_us=200.0)
+    b = GovernorReport(policy="countdown", theta_us=200.0)
+    for i, name in enumerate(sorted(names - NON_SUMMABLE_FIELDS)):
+        setattr(a, name, i + 1)
+        setattr(b, name, 10 * (i + 1))
+    merged = merge_reports([a, b])
+    for i, name in enumerate(sorted(names - NON_SUMMABLE_FIELDS)):
+        assert getattr(merged, name) == 11 * (i + 1), (
+            f"field {name!r} was not summed by merge_reports"
+        )
+
+
+def test_merge_keeps_first_config_and_marks_monitor():
+    a = GovernorReport(policy="predictive", theta_us=150.0,
+                       monitor={"detail": 1})
+    b = GovernorReport(policy="predictive", theta_us=150.0,
+                       monitor={"detail": 2})
+    merged = merge_reports([a, b])
+    assert merged.policy == "predictive"
+    assert merged.theta_us == 150.0
+    assert merged.monitor == {"runs_merged": 2}
+
+
+def test_to_dict_covers_every_field():
+    report = GovernorReport()
+    assert set(report.to_dict()) == {f.name for f in fields(GovernorReport)}
+
+
+def test_newly_drifted_counters_are_summed():
+    # The three fields the hand-written sum had historically dropped.
+    a = GovernorReport(prescales=1, penalty_s=0.5, estimated_saving_j=2.0)
+    b = GovernorReport(prescales=2, penalty_s=0.25, estimated_saving_j=3.0)
+    merged = merge_reports([a, b])
+    assert merged.prescales == 3
+    assert merged.penalty_s == 0.75
+    assert merged.estimated_saving_j == 5.0

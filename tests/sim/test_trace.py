@@ -173,3 +173,68 @@ def test_core_transitions_emit_power_state_events():
     assert freq and freq[0].data["new"] == 1.6
     assert tst and tst[0].data["new"] == 7
     assert freq[0].data["core"] == core.core_id
+
+
+# -- JsonlTracer lifecycle (flush cadence, close semantics) ------------------
+def test_jsonl_flushes_every_n_records(tmp_path):
+    path = tmp_path / "flush.jsonl"
+    tracer = JsonlTracer(str(path), flush_every=2)
+    tracer.mark(0.0, "a")
+    tracer.mark(1.0, "b")  # hits the flush boundary
+    tracer.mark(2.0, "c")  # buffered again
+    # Without closing, the flushed prefix must already be on disk.
+    on_disk = path.read_text().splitlines()
+    assert len(on_disk) >= 2
+    assert json.loads(on_disk[0])["name"] == "a"
+    tracer.close()
+    assert len(path.read_text().splitlines()) == 3
+
+
+def test_jsonl_flush_every_validated():
+    with pytest.raises(ValueError, match="flush_every"):
+        JsonlTracer(io.StringIO(), flush_every=0)
+
+
+def test_jsonl_close_is_idempotent_and_emit_after_close_raises(tmp_path):
+    path = tmp_path / "closed.jsonl"
+    tracer = JsonlTracer(str(path))
+    tracer.mark(0.0, "a")
+    tracer.close()
+    tracer.close()  # second close: no-op, no error
+    with pytest.raises(ValueError, match="closed"):
+        tracer.mark(1.0, "late")
+    # The record emitted before close survived; the late one never wrote.
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_jsonl_borrowed_sink_left_open():
+    buf = io.StringIO()
+    tracer = JsonlTracer(buf)
+    tracer.mark(0.0, "a")
+    tracer.close()
+    assert not buf.closed  # borrowed, not owned
+    assert json.loads(buf.getvalue())["name"] == "a"
+
+
+# -- TeeTracer ---------------------------------------------------------------
+def test_tee_fans_out_to_enabled_children():
+    from repro.sim.trace import TeeTracer
+
+    a, b = RecordingTracer(), RecordingTracer()
+    disabled = NullTracer()
+    tee = TeeTracer([a, None, disabled, b])
+    tee.mark(0.5, "x")
+    assert len(a.records) == len(b.records) == 1
+    assert a.records[0].data == {"name": "x"}
+
+
+def test_tee_close_closes_children():
+    from repro.sim.trace import TeeTracer
+
+    buf = io.StringIO()
+    child = JsonlTracer(buf)
+    tee = TeeTracer([child])
+    tee.mark(0.0, "x")
+    tee.close()
+    with pytest.raises(ValueError):
+        child.mark(1.0, "late")

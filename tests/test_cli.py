@@ -88,11 +88,13 @@ def test_experiment_name_zero_padding_accepted():
     assert _canonical_experiment("fig99") is None
 
 
-def test_experiment_trace_flag_writes_jsonl(tmp_path):
+def test_experiment_trace_flag_writes_jsonl(tmp_path, monkeypatch):
     import json
 
+    monkeypatch.chdir(tmp_path)
     trace = tmp_path / "t.jsonl"
-    code, text = run_cli("experiment", "fig2c", "--trace", str(trace))
+    code, text = run_cli("experiment", "fig2c", "--trace", str(trace),
+                         "--no-cache")
     assert code == 0
     assert "trace records" in text
     lines = trace.read_text().splitlines()
@@ -101,8 +103,9 @@ def test_experiment_trace_flag_writes_jsonl(tmp_path):
     assert "t" in first and "type" in first
 
 
-def test_experiment_profile_flag_reports(capsys):
-    code, text = run_cli("experiment", "fig2c", "--profile")
+def test_experiment_profile_flag_reports(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    code, text = run_cli("experiment", "fig2c", "--profile", "--no-cache")
     assert code == 0
     assert "self-profile" in text
     assert "kernel events" in text
@@ -151,3 +154,121 @@ def test_faults_runs_are_reproducible():
     _, a = run_cli(*spec)
     _, b = run_cli(*spec)
     assert a == b
+
+
+# -- observability surface (repro.obs) ---------------------------------------
+def test_metrics_flag_writes_snapshot(tmp_path, monkeypatch):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    path = tmp_path / "metrics.json"
+    code, text = run_cli(
+        "osu", "alltoall", "--size", "16K", "--ranks", "8",
+        "--metrics", str(path), "--no-cache",
+    )
+    assert code == 0
+    assert f"metrics to {path}" in text
+    snap = json.loads(path.read_text())
+    assert set(snap) == {"counters", "gauges", "series"}
+    assert snap["counters"]["net.flows_started"] > 0
+    assert snap["gauges"]["sim.last_t"] > 0
+
+
+def test_trace_survives_jobs_4(tmp_path, monkeypatch):
+    """The satellite-1 regression: worker-side records must not be lost."""
+    from repro.runner import clear_memo
+
+    monkeypatch.chdir(tmp_path)
+    counts = {}
+    for jobs in ("1", "4"):
+        clear_memo()
+        path = tmp_path / f"trace-{jobs}.jsonl"
+        code, _ = run_cli(
+            "osu", "alltoall", "--size", "16K", "--ranks", "8",
+            "--trace", str(path), "--jobs", jobs, "--no-cache",
+        )
+        assert code == 0
+        counts[jobs] = path.read_text()
+    assert counts["1"] == counts["4"]
+    assert counts["1"].count("\n") > 0
+
+
+def test_metrics_identical_across_jobs_and_cache(tmp_path, monkeypatch):
+    import json
+
+    from repro.runner import clear_memo
+
+    monkeypatch.chdir(tmp_path)
+    cache_dir = tmp_path / "cache"
+    blobs = []
+    for run, jobs in enumerate(("1", "4", "4")):  # third run = warm cache
+        if run < 2:
+            clear_memo()
+        path = tmp_path / f"m{run}.json"
+        code, _ = run_cli(
+            "osu", "alltoall", "--size", "16K", "--ranks", "8",
+            "--metrics", str(path), "--jobs", jobs,
+            "--cache-dir", str(cache_dir),
+        )
+        assert code == 0
+        blobs.append(path.read_bytes())
+    assert blobs[0] == blobs[1] == blobs[2]
+
+
+def test_trace_export_chrome(tmp_path, monkeypatch):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    trace = tmp_path / "run.jsonl"
+    code, _ = run_cli(
+        "osu", "alltoall", "--size", "16K", "--ranks", "8",
+        "--trace", str(trace), "--no-cache",
+    )
+    assert code == 0
+    code, text = run_cli("trace-export", str(trace))
+    assert code == 0
+    assert "Chrome trace events" in text
+    out = tmp_path / "run.chrome.json"
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"]
+    assert events
+    body = [e for e in events if e["ph"] != "M"]
+    ts = [e["ts"] for e in body]
+    assert ts == sorted(ts)  # monotonic Chrome timestamps
+    assert {"X", "C"} <= {e["ph"] for e in body}
+
+
+def test_trace_export_explicit_out_and_missing_file(tmp_path):
+    code, text = run_cli("trace-export", str(tmp_path / "absent.jsonl"))
+    assert code == 2
+    assert "cannot export" in text
+
+    src = tmp_path / "tiny.jsonl"
+    src.write_text('{"t": 0.0, "type": "mark", "name": "x"}\n')
+    dst = tmp_path / "custom.json"
+    code, text = run_cli("trace-export", str(src), "--out", str(dst))
+    assert code == 0
+    assert dst.exists()
+
+
+def test_bench_report_metrics_section(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code, _ = run_cli(
+        "osu", "alltoall", "--size", "16K", "--ranks", "8",
+        "--metrics", str(tmp_path / "m.json"), "--no-cache",
+    )
+    assert code == 0
+    code, text = run_cli("bench-report", "--metrics")
+    assert code == 0
+    assert "== metrics ==" in text
+    assert "net.flows_started" in text
+
+
+def test_bench_report_metrics_absent_hint(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code, _ = run_cli("osu", "alltoall", "--size", "16K", "--ranks", "8",
+                      "--no-cache")
+    assert code == 0
+    code, text = run_cli("bench-report", "--metrics")
+    assert code == 0
+    assert "no metrics in the last sweep" in text

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.apps",
     "repro.bench",
     "repro.microbench",
+    "repro.obs",
 ]
 
 
