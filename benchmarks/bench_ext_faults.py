@@ -13,10 +13,26 @@ never compare against full-sweep baselines.
 
 import os
 
-from repro.bench import extension_faults_governor
+import pytest
+
+from repro.bench import extension_faults_governor, use_runner
+from repro.runner import SweepStats, resolve_jobs
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 SUFFIX = "_quick" if QUICK else ""
+
+
+@pytest.fixture(autouse=True)
+def _runner_sweep(request, capsys):
+    """Every sweep rides the cell runner: ``REPRO_JOBS`` shards cells
+    across the warm-worker pool (the CI fault-smoke step sets
+    ``REPRO_JOBS=2``) and the sweep accounting prints next to the
+    benchmark numbers."""
+    stats = SweepStats(experiment=request.node.name)
+    with use_runner(jobs=resolve_jobs(None, default=1), stats=stats):
+        yield
+    with capsys.disabled():
+        print(f"\n  {stats.one_line()}")
 
 
 def test_ext_faults_governor(report):

@@ -44,7 +44,7 @@ from ..models import (
 )
 from ..mpi.job import JobResult, MpiJob
 from ..mpi.p2p import ProgressMode
-from ..runner import CellResult, SweepCell, execute_cell, run_cells
+from ..runner import CellResult, SweepCell, run_cells
 from .report import bytes_label
 
 #: Message sweep of the power figures (7a, 8a; paper x-axis 16K–1M).
@@ -110,50 +110,125 @@ class SweepPlan:
     assemble: Callable[[List[CellResult]], Tuple[List, List, str]]
 
 
-#: Ambient runner configuration installed by :func:`use_runner` (the CLI
-#: scope); empty = inline execution, in-process memo only.
-_RUNNER_CFG: Dict[str, Any] = {}
+@dataclass
+class RunnerScope:
+    """Ambient runner configuration installed by :func:`use_runner`.
+
+    ``governor``/``faults`` are plain-data configs (``to_dict()`` form)
+    overlaid onto every plan cell that does not already pin its own —
+    the CLI's ``--governor``/``--faults`` flags become *plan parameters*
+    this way, so instrumented sweeps flow through the exact same cached
+    parallel path as everything else.  The per-run report dicts harvested
+    from the overlaid cells accumulate on ``governor_reports`` /
+    ``fault_reports`` (they round-trip the result cache, so a warm-cache
+    rerun reports identically to a cold one).
+    """
+
+    jobs: Optional[int] = None
+    cache: Any = None
+    refresh: bool = False
+    stats: Any = None
+    governor: Optional[Dict[str, Any]] = None
+    faults: Optional[Dict[str, Any]] = None
+    #: True while a use_runner scope is live; report collection only
+    #: happens then (library callers never accumulate unbounded lists).
+    collect: bool = False
+    governor_reports: List[Dict[str, Any]] = None  # type: ignore[assignment]
+    fault_reports: List[Dict[str, Any]] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.governor_reports is None:
+            self.governor_reports = []
+        if self.fault_reports is None:
+            self.fault_reports = []
+
+
+_RUNNER_SCOPE = RunnerScope()
 
 
 @contextlib.contextmanager
-def use_runner(jobs=None, cache=None, refresh: bool = False, stats=None):
+def use_runner(jobs=None, cache=None, refresh: bool = False, stats=None,
+               governor: Optional[Dict[str, Any]] = None,
+               faults: Optional[Dict[str, Any]] = None):
     """Route every experiment run inside the scope through the parallel
-    executor / result cache with these settings."""
-    global _RUNNER_CFG
-    prev = _RUNNER_CFG
-    _RUNNER_CFG = {"jobs": jobs, "cache": cache, "refresh": refresh, "stats": stats}
-    try:
-        yield
-    finally:
-        _RUNNER_CFG = prev
+    executor / result cache with these settings.
 
-
-def _instrumentation_active() -> bool:
-    """True when an ambient --governor/--faults scope is live.
-
-    Those scopes collect per-run report objects that only exist on a
-    live simulation, so plans under them execute directly — one fresh
-    simulation per cell, like the pre-cell code did.  Trace, metrics
-    and profile scopes no longer force the direct path: the runner
-    captures their payloads per cell and replays them deterministically
-    (see :mod:`repro.obs.capture`), so ``--trace --jobs 4`` records
-    exactly what ``--jobs 1`` does instead of silently losing the
-    worker-side stream.
+    Yields the :class:`RunnerScope`; after the body ran, its
+    ``governor_reports``/``fault_reports`` hold the per-run report dicts
+    of every cell the ``governor``/``faults`` overlays touched.
     """
-    from ..faults.scope import ambient_fault_scope
-    from ..runtime.governor import ambient_governor_scope
+    global _RUNNER_SCOPE
+    prev = _RUNNER_SCOPE
+    scope = RunnerScope(jobs=jobs, cache=cache, refresh=refresh, stats=stats,
+                        governor=governor, faults=faults, collect=True)
+    _RUNNER_SCOPE = scope
+    try:
+        yield scope
+    finally:
+        _RUNNER_SCOPE = prev
 
-    return (
-        ambient_governor_scope() is not None
-        or ambient_fault_scope() is not None
-    )
+
+def instrument_cells(
+    cells: List[SweepCell],
+    governor: Optional[Dict[str, Any]] = None,
+    faults: Optional[Dict[str, Any]] = None,
+) -> Tuple[List[SweepCell], Tuple[int, ...], Tuple[int, ...]]:
+    """Overlay governor/fault configs onto cells that don't pin their own.
+
+    A cell whose params already carry a ``governor``/``faults`` key keeps
+    it — plan-declared instrumentation (ext-governor's policy grid,
+    ext-faults' mild column) always wins over the CLI flags, matching
+    the old ambient-scope precedence where an explicit config bypassed
+    the scope.  Returns the (possibly rebuilt) cells plus the index
+    tuples of cells that received each overlay, so the caller can
+    harvest exactly those reports.
+    """
+    if governor is None and faults is None:
+        return cells, (), ()
+    out: List[SweepCell] = []
+    gov_idx: List[int] = []
+    fault_idx: List[int] = []
+    for i, cell in enumerate(cells):
+        params = dict(cell.params)
+        touched = False
+        if governor is not None and "governor" not in params:
+            params["governor"] = governor
+            gov_idx.append(i)
+            touched = True
+        if faults is not None and "faults" not in params:
+            params["faults"] = faults
+            fault_idx.append(i)
+            touched = True
+        if touched:
+            cell = SweepCell(experiment=cell.experiment, kind=cell.kind,
+                             params=params, label=cell.label)
+        out.append(cell)
+    return out, tuple(gov_idx), tuple(fault_idx)
 
 
 def _run_plan(plan: SweepPlan):
-    if _instrumentation_active():
-        results = [execute_cell(cell) for cell in plan.cells]
-    else:
-        results = run_cells(plan.cells, **_RUNNER_CFG)
+    """Execute a plan through the one cell runner — no other path exists.
+
+    Instrumented or not, every cell goes through :func:`run_cells`
+    (memo > disk cache > warm-worker pool/inline), with any ambient
+    ``--governor``/``--faults`` configs overlaid as cell parameters and
+    reconstructed inside the worker by ``execute_cell``.
+    """
+    scope = _RUNNER_SCOPE
+    cells, gov_idx, fault_idx = instrument_cells(
+        plan.cells, scope.governor, scope.faults
+    )
+    results = run_cells(cells, jobs=scope.jobs, cache=scope.cache,
+                        refresh=scope.refresh, stats=scope.stats)
+    if scope.collect:
+        scope.governor_reports.extend(
+            results[i].governor for i in gov_idx
+            if results[i].governor is not None
+        )
+        scope.fault_reports.extend(
+            results[i].faults for i in fault_idx
+            if results[i].faults is not None
+        )
     return plan.assemble(results)
 
 
@@ -1248,7 +1323,9 @@ CELL_PLANS: Dict[str, Callable[[], SweepPlan]] = {
     "ablation-fmin": plan_ablation_fmin,
     "ablation-scaling": plan_ablation_scaling,
     "ext-racks": plan_ext_racks,
+    "ext-rack-topology": plan_ext_racks,
     "ext-adaptive": plan_ext_adaptive,
+    "ext-governor": plan_ext_governor_alltoall,
     "ext-governor-alltoall": plan_ext_governor_alltoall,
     "ext-governor-mixed": plan_ext_governor_mixed,
     "ext-governor-apps": plan_ext_governor_apps,

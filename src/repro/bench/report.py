@@ -94,6 +94,9 @@ def render_sweep_report(stats: dict) -> str:
         ("jobs", stats.get("jobs", 1)),
         ("elapsed (s)", stats.get("elapsed_s", 0.0)),
     ]
+    jobs_eff = stats.get("jobs_effective", stats.get("jobs", 1))
+    if jobs_eff != stats.get("jobs", 1):
+        summary_rows.append(("jobs effective", jobs_eff))
     cache = stats.get("cache")
     if cache:
         summary_rows.append(
@@ -103,6 +106,23 @@ def render_sweep_report(stats: dict) -> str:
         )
     if stats.get("cache_dir"):
         summary_rows.append(("cache dir", stats["cache_dir"]))
+    if stats.get("substrate_hits", 0) or stats.get("substrate_misses", 0):
+        summary_rows.append(
+            ("substrate cache h/m",
+             f"{stats.get('substrate_hits', 0)}"
+             f"/{stats.get('substrate_misses', 0)}")
+        )
+        summary_rows.append(
+            ("substrate rebuild (s)", stats.get("substrate_rebuild_s", 0.0))
+        )
+    if stats.get("batches"):
+        summary_rows.append(("worker batches", stats["batches"]))
+        summary_rows.append(("warm-worker batches", stats.get("worker_reuse", 0)))
+        summary_rows.append(("workers used", stats.get("workers_used", 0)))
+    if stats.get("jobs_clamped"):
+        summary_rows.append(
+            ("note", "jobs clamped to the usable CPU count")
+        )
     if stats.get("fell_back_inline"):
         summary_rows.append(("note", "pool unavailable; ran inline"))
     lines.append(format_table(["metric", "value"], summary_rows))

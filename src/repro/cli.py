@@ -26,9 +26,10 @@ output is bit-identical to serial output.  The observability flags
 (``--trace`` / ``--metrics`` / ``--profile``) ride through the runner:
 each cell captures its payload wherever it runs and the parent replays
 payloads in submit order (see :mod:`repro.obs`), so ``--jobs 4`` records
-exactly what ``--jobs 1`` does.  Only ``--governor`` / ``--faults``
-still need one fresh simulation per run (their scopes collect live
-per-run report objects) and bypass the runner.
+exactly what ``--jobs 1`` does.  ``--governor`` / ``--faults`` are plan
+parameters: the configs serialize into each cell's spec (and its cache
+key), workers reconstruct them, and the per-run report dicts ride back
+on the results — there is exactly one execution path.
 """
 
 from __future__ import annotations
@@ -42,7 +43,7 @@ from pathlib import Path
 from typing import Callable, List, Optional
 
 from . import bench
-from .apps import CPMD_TA_INP_MD, CPMD_WAT32_INP1, CPMD_WAT32_INP2, NAS_FT, NAS_IS, run_app
+from .apps import CPMD_TA_INP_MD, CPMD_WAT32_INP1, CPMD_WAT32_INP2, NAS_FT, NAS_IS
 from .bench.report import bytes_label, format_table, render_experiment
 from .cluster.specs import ClusterSpec
 from .collectives.registry import PowerMode
@@ -79,7 +80,9 @@ EXPERIMENTS = {
     "ablation-fmin": bench.ablation_fmin_sweep,
     "ablation-scaling": bench.ablation_cluster_scaling,
     "ext-racks": bench.extension_rack_topology,
+    "ext-rack-topology": bench.extension_rack_topology,
     "ext-adaptive": bench.extension_adaptive_policy,
+    "ext-governor": bench.extension_governor_alltoall,
     "ext-governor-alltoall": bench.extension_governor_alltoall,
     "ext-governor-mixed": bench.extension_governor_mixed,
     "ext-governor-apps": bench.extension_governor_apps,
@@ -96,10 +99,6 @@ def _parse_size(text: str) -> int:
     elif text.endswith("M"):
         factor, text = 1 << 20, text[:-1]
     return int(text) * factor
-
-
-def _power_mode(name: str) -> PowerMode:
-    return PowerMode(name)
 
 
 def _canonical_experiment(name: str) -> Optional[str]:
@@ -174,18 +173,59 @@ def _add_runner_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _direct_instrumentation_requested(args) -> bool:
-    """True when a flag needs direct (runner-bypassing) execution.
+class _Instrumentation:
+    """Resolved --governor/--faults flags plus the reports they produced.
 
-    Only governor/fault scopes qualify: they collect live per-run report
-    objects.  ``--trace`` / ``--metrics`` / ``--profile`` payloads are
-    captured per cell and replayed by the runner (repro.obs.capture), so
-    they keep parallel execution and caching.
+    The configs become *cell parameters*: commands serialize them into
+    every cell they build (or hand them to :func:`bench.use_runner` to
+    overlay onto plan cells), workers reconstruct them, and the per-run
+    report dicts come back on the :class:`CellResult` — through the
+    memo, the disk cache, or fresh execution alike — so the summary
+    lines below are byte-identical however a cell was satisfied.
     """
-    return bool(
-        getattr(args, "governor", None) is not None
-        or getattr(args, "faults", None) is not None
-    )
+
+    def __init__(self, args):
+        self.governor_config = _governor_config(args)
+        self.fault_plan = _fault_plan(args)
+        self.governor_reports: List[dict] = []
+        self.fault_reports: List[dict] = []
+
+    @property
+    def governor_params(self):
+        return (
+            self.governor_config.to_dict()
+            if self.governor_config is not None else None
+        )
+
+    @property
+    def fault_params(self):
+        return (
+            self.fault_plan.to_dict()
+            if self.fault_plan is not None else None
+        )
+
+    def cell_params(self, params: dict) -> dict:
+        """Fold the instrumentation configs into one cell's params.
+
+        Leaves ``params`` untouched when no flag was given, so
+        uninstrumented runs keep their exact historical cache keys.
+        """
+        if self.governor_params is not None:
+            params["governor"] = self.governor_params
+        if self.fault_params is not None:
+            params["faults"] = self.fault_params
+        return params
+
+    def collect(self, results) -> None:
+        """Harvest report dicts from results of cells this built."""
+        if self.governor_config is not None:
+            self.governor_reports.extend(
+                r.governor for r in results if r.governor is not None
+            )
+        if self.fault_plan is not None:
+            self.fault_reports.extend(
+                r.faults for r in results if r.faults is not None
+            )
 
 
 class _RunnerSetup:
@@ -270,22 +310,20 @@ def _governor_config(args):
     return GovernorConfig(**kwargs)
 
 
-def _instrumented(args, out, fn: Callable[[], int]) -> int:
-    """Run ``fn`` under the --trace / --metrics / --profile /
-    --governor / --faults scopes."""
+def _instrumented(args, out, fn: Callable[["_Instrumentation"], int]) -> int:
+    """Run ``fn`` under the --trace / --metrics / --profile scopes, with
+    the --governor / --faults configs resolved into an
+    :class:`_Instrumentation` the command threads into its cells."""
     from .bench.profile import SelfProfile
     from .sim.trace import JsonlTracer, use_tracer
 
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     profile = SelfProfile() if getattr(args, "profile", False) else None
-    governor_config = _governor_config(args)
-    fault_plan = _fault_plan(args)
+    instr = _Instrumentation(args)
     with contextlib.ExitStack() as stack:
         tracer = None
         registry = None
-        governor_scope = None
-        fault_scope = None
         if trace_path is not None:
             try:
                 tracer = stack.enter_context(JsonlTracer(trace_path))
@@ -298,17 +336,9 @@ def _instrumented(args, out, fn: Callable[[], int]) -> int:
 
             registry = MetricsRegistry()
             stack.enter_context(use_metrics(registry))
-        if governor_config is not None:
-            from .runtime import use_governor
-
-            governor_scope = stack.enter_context(use_governor(governor_config))
-        if fault_plan is not None:
-            from .faults import use_faults
-
-            fault_scope = stack.enter_context(use_faults(fault_plan))
         if profile is not None:
             stack.enter_context(profile)
-        rc = fn()
+        rc = fn(instr)
     if tracer is not None:
         print(
             f"wrote {tracer.records_written} trace records to {trace_path}",
@@ -326,25 +356,27 @@ def _instrumented(args, out, fn: Callable[[], int]) -> int:
             return 2
         n = len(snapshot["counters"]) + len(snapshot["gauges"]) + len(snapshot["series"])
         print(f"wrote {n} metrics to {metrics_path}", file=out)
-    if governor_scope is not None and governor_scope.reports:
+    if instr.governor_config is not None and instr.governor_reports:
         from .runtime import merge_reports
+        from .runtime.telemetry import GovernorReport
 
-        merged = merge_reports(governor_scope.reports)
+        reports = [GovernorReport(**d) for d in instr.governor_reports]
+        merged = merge_reports(reports)
         print(merged.one_line(), file=out)
         if profile is not None:
             from .bench import save_governor_json
 
-            path = save_governor_json(governor_scope.reports)
+            path = save_governor_json(reports)
             print(f"wrote governor telemetry to {path}", file=out)
-    if fault_scope is not None:
-        reports = fault_scope.reports
+    if instr.fault_plan is not None:
+        reports = instr.fault_reports
         if reports:
             print(
-                f"faults[seed={fault_plan.seed}] over {len(reports)} runs: "
-                f"{sum(r.link_events for r in reports)} link events, "
-                f"{sum(r.straggled_calls for r in reports)} slowed computes, "
-                f"{sum(r.noise_pulses for r in reports)} noise pulses, "
-                f"{sum(r.jittered_transitions for r in reports)} "
+                f"faults[seed={instr.fault_plan.seed}] over {len(reports)} runs: "
+                f"{sum(r['link_events'] for r in reports)} link events, "
+                f"{sum(r['straggled_calls'] for r in reports)} slowed computes, "
+                f"{sum(r['noise_pulses'] for r in reports)} noise pulses, "
+                f"{sum(r['jittered_transitions'] for r in reports)} "
                 "jittered transitions",
                 file=out,
             )
@@ -456,16 +488,21 @@ def cmd_info(out) -> int:
     return 0
 
 
-def cmd_experiment(name: str, out, json_dir=None, args=None) -> int:
-    if args is None or _direct_instrumentation_requested(args):
-        # Governed/faulted runs need one fresh simulation per cell for
-        # their per-run reports; the experiment detects the scopes itself.
+def cmd_experiment(name: str, out, json_dir=None, args=None, instr=None) -> int:
+    if args is None:
         headers, rows, notes = EXPERIMENTS[name]()
     else:
         setup = _RunnerSetup(args, experiment=name)
-        with bench.use_runner(jobs=setup.jobs, cache=setup.cache,
-                              refresh=setup.refresh, stats=setup.stats):
+        with bench.use_runner(
+            jobs=setup.jobs, cache=setup.cache,
+            refresh=setup.refresh, stats=setup.stats,
+            governor=instr.governor_params if instr is not None else None,
+            faults=instr.fault_params if instr is not None else None,
+        ) as scope:
             headers, rows, notes = EXPERIMENTS[name]()
+        if instr is not None:
+            instr.governor_reports.extend(scope.governor_reports)
+            instr.fault_reports.extend(scope.fault_reports)
         setup.finish()
     print(render_experiment(name, headers, rows, notes), file=out)
     if json_dir is not None:
@@ -476,50 +513,35 @@ def cmd_experiment(name: str, out, json_dir=None, args=None) -> int:
     return 0
 
 
-def cmd_osu(args, out) -> int:
+def cmd_osu(args, out, instr=None) -> int:
     progress = ProgressMode.BLOCKING if args.blocking else ProgressMode.POLLING
     sizes = [args.size] if args.size is not None else list(osu.DEFAULT_SIZES[2:9])
-    mode = _power_mode(args.mode)
     metrics: List[float]
-    if not _direct_instrumentation_requested(args):
-        from .runner import SweepCell
+    from .runner import SweepCell
 
-        setup = _RunnerSetup(args, experiment=f"osu-{args.bench}")
-        cells = [
-            SweepCell(
-                experiment=f"osu-{args.bench}",
-                kind="osu",
-                params={
-                    "bench": args.bench,
-                    "nbytes": nbytes,
-                    "n_ranks": args.ranks,
-                    "mode": args.mode,
-                    "blocking": args.blocking,
-                    "intra_node": args.intra_node,
-                },
-                label=f"osu_{args.bench}/{bytes_label(nbytes)}",
-            )
-            for nbytes in sizes
-        ]
-        metrics = [r.extra["metric"] for r in setup.run(cells)]
-        setup.finish()
-    elif args.bench == "latency":
-        metrics = [
-            osu.osu_latency(nbytes, inter_node=not args.intra_node,
-                            progress=progress)
-            for nbytes in sizes
-        ]
-    elif args.bench in ("bw", "bibw"):
-        fn = osu.osu_bw if args.bench == "bw" else osu.osu_bibw
-        metrics = [fn(nbytes, inter_node=not args.intra_node) for nbytes in sizes]
-    else:
-        metrics = [
-            osu.osu_collective_latency(
-                args.bench, nbytes, n_ranks=args.ranks, mode=mode,
-                progress=progress, iterations=3, warmup=1,
-            )
-            for nbytes in sizes
-        ]
+    if instr is None:
+        instr = _Instrumentation(args)
+    setup = _RunnerSetup(args, experiment=f"osu-{args.bench}")
+    cells = [
+        SweepCell(
+            experiment=f"osu-{args.bench}",
+            kind="osu",
+            params=instr.cell_params({
+                "bench": args.bench,
+                "nbytes": nbytes,
+                "n_ranks": args.ranks,
+                "mode": args.mode,
+                "blocking": args.blocking,
+                "intra_node": args.intra_node,
+            }),
+            label=f"osu_{args.bench}/{bytes_label(nbytes)}",
+        )
+        for nbytes in sizes
+    ]
+    results = setup.run(cells)
+    instr.collect(results)
+    metrics = [r.extra["metric"] for r in results]
+    setup.finish()
     if args.bench in ("bw", "bibw"):
         rows = [(bytes_label(n), m / 1e9) for n, m in zip(sizes, metrics)]
         headers = ["Size", "Bandwidth (GB/s)"]
@@ -534,37 +556,32 @@ def cmd_osu(args, out) -> int:
     return 0
 
 
-def cmd_app(args, out) -> int:
-    if not _direct_instrumentation_requested(args):
-        from .runner import SweepCell
+def cmd_app(args, out, instr=None) -> int:
+    from .runner import SweepCell
 
-        setup = _RunnerSetup(args, experiment=f"app-{args.name}")
-        cell = SweepCell(
-            experiment=f"app-{args.name}",
-            kind="app",
-            params={"app": args.name, "ranks": args.ranks, "mode": args.mode},
-            label=f"{args.name}/{args.ranks}r/{args.mode}",
-        )
-        (r,) = setup.run([cell])
-        setup.finish()
-        app_name = r.app["name"]
-        rows = [
-            ("total time (s)", r.app["total_time_s"]),
-            ("alltoall time (s)", r.app["alltoall_time_s"]),
-            ("alltoall fraction", r.app["alltoall_fraction"]),
-            ("energy (kJ)", r.app["energy_kj"]),
-            ("avg power (kW)", r.average_power_w / 1e3),
-        ]
-    else:
-        result = run_app(APPS[args.name], args.ranks, _power_mode(args.mode))
-        app_name = result.app
-        rows = [
-            ("total time (s)", result.total_time_s),
-            ("alltoall time (s)", result.alltoall_time_s),
-            ("alltoall fraction", result.alltoall_fraction),
-            ("energy (kJ)", result.energy_kj),
-            ("avg power (kW)", result.sim.average_power_w / 1e3),
-        ]
+    if instr is None:
+        instr = _Instrumentation(args)
+    setup = _RunnerSetup(args, experiment=f"app-{args.name}")
+    cell = SweepCell(
+        experiment=f"app-{args.name}",
+        kind="app",
+        params=instr.cell_params(
+            {"app": args.name, "ranks": args.ranks, "mode": args.mode}
+        ),
+        label=f"{args.name}/{args.ranks}r/{args.mode}",
+    )
+    results = setup.run([cell])
+    instr.collect(results)
+    (r,) = results
+    setup.finish()
+    app_name = r.app["name"]
+    rows = [
+        ("total time (s)", r.app["total_time_s"]),
+        ("alltoall time (s)", r.app["alltoall_time_s"]),
+        ("alltoall fraction", r.app["alltoall_fraction"]),
+        ("energy (kJ)", r.app["energy_kj"]),
+        ("avg power (kW)", r.average_power_w / 1e3),
+    ]
     title = f"{app_name} @ {args.ranks} ranks, scheme={args.mode}"
     print(render_experiment(title, ["metric", "value"], rows), file=out)
     return 0
@@ -648,12 +665,14 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return 2
         return _instrumented(
             args, out,
-            lambda: cmd_experiment(name, out, json_dir=args.json, args=args),
+            lambda instr: cmd_experiment(
+                name, out, json_dir=args.json, args=args, instr=instr
+            ),
         )
     if args.command == "osu":
-        return _instrumented(args, out, lambda: cmd_osu(args, out))
+        return _instrumented(args, out, lambda instr: cmd_osu(args, out, instr))
     if args.command == "app":
-        return _instrumented(args, out, lambda: cmd_app(args, out))
+        return _instrumented(args, out, lambda instr: cmd_app(args, out, instr))
     if args.command == "bench-report":
         return cmd_bench_report(args, out)
     if args.command == "trace-export":

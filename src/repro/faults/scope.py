@@ -31,24 +31,34 @@ class FaultScope:
         self.reports.append(report)
 
 
-_AMBIENT: List[FaultScope] = []
+_AMBIENT: List[Optional[FaultScope]] = []
 
 
 def ambient_fault_scope() -> Optional[FaultScope]:
-    """The innermost active :func:`use_faults` scope, if any."""
+    """The innermost active :func:`use_faults` scope, if any.
+
+    A ``use_faults(None)`` shadow entry hides any outer scope: the
+    hermetic cell executor installs one so a cell sees no ambient fault
+    plan no matter what the calling process has active."""
     return _AMBIENT[-1] if _AMBIENT else None
 
 
 @contextlib.contextmanager
-def use_faults(plan: FaultPlan) -> Iterator[FaultScope]:
+def use_faults(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultScope]]:
     """Install ``plan`` as the ambient fault plan for the ``with`` body.
 
-    Yields the :class:`FaultScope`; after the body ran, ``scope.reports``
-    holds one :class:`~repro.faults.state.FaultReport` per perturbed job.
+    ``plan=None`` installs a *shadow* instead (mirroring
+    ``use_tracer(None)`` / ``use_metrics(None)``): inside the body,
+    :func:`ambient_fault_scope` returns None even when an outer scope is
+    active.
+
+    Yields the :class:`FaultScope` (None for a shadow); after the body
+    ran, ``scope.reports`` holds one
+    :class:`~repro.faults.state.FaultReport` per perturbed job.
     """
-    scope = FaultScope(plan)
+    scope = FaultScope(plan) if plan is not None else None
     _AMBIENT.append(scope)
     try:
         yield scope
     finally:
-        _AMBIENT.remove(scope)
+        _AMBIENT.pop()

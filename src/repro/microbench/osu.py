@@ -8,12 +8,15 @@ print.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..cluster.specs import ClusterSpec
 from ..collectives.registry import CollectiveConfig, CollectiveEngine, PowerMode
 from ..mpi.job import MpiJob
 from ..mpi.p2p import ProgressMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.session import SimSession
 
 #: Default OSU size ladder (powers of two, 1 B .. 4 MB).
 DEFAULT_SIZES: Tuple[int, ...] = tuple(1 << k for k in range(0, 23, 2))
@@ -26,11 +29,19 @@ DEFAULT_WINDOW = 64
 
 
 def _job(n_ranks: int, mode: PowerMode, progress: ProgressMode,
-         cluster_spec: Optional[ClusterSpec]) -> MpiJob:
+         cluster_spec: Optional[ClusterSpec],
+         session: Optional["SimSession"] = None) -> MpiJob:
+    engine = CollectiveEngine(CollectiveConfig(power_mode=mode))
+    if session is not None:
+        # An externally owned session (the sweep runner builds one per
+        # cell, with the cell's governor/faults already bound).
+        return MpiJob(
+            n_ranks, session=session, collectives=engine, progress=progress,
+        )
     return MpiJob(
         n_ranks,
         cluster_spec=cluster_spec,
-        collectives=CollectiveEngine(CollectiveConfig(power_mode=mode)),
+        collectives=engine,
         progress=progress,
         keep_segments=False,
     )
@@ -42,6 +53,7 @@ def osu_latency(
     iterations: int = DEFAULT_ITERATIONS,
     warmup: int = DEFAULT_WARMUP,
     progress: ProgressMode = ProgressMode.POLLING,
+    session: Optional["SimSession"] = None,
 ) -> float:
     """One-way point-to-point latency in seconds (ping-pong / 2).
 
@@ -49,7 +61,7 @@ def osu_latency(
     two ranks share a node (shared-memory path).
     """
     peer = 8 if inter_node else 1
-    job = _job(16, PowerMode.NONE, progress, None)
+    job = _job(16, PowerMode.NONE, progress, None, session=session)
     out = {}
 
     def program(ctx):
@@ -75,10 +87,11 @@ def osu_bw(
     iterations: int = DEFAULT_ITERATIONS,
     warmup: int = DEFAULT_WARMUP,
     window: int = DEFAULT_WINDOW,
+    session: Optional["SimSession"] = None,
 ) -> float:
     """Unidirectional streaming bandwidth in B/s (windowed isends + ack)."""
     peer = 8 if inter_node else 1
-    job = _job(16, PowerMode.NONE, ProgressMode.POLLING, None)
+    job = _job(16, PowerMode.NONE, ProgressMode.POLLING, None, session=session)
     out = {}
 
     def program(ctx):
@@ -109,10 +122,11 @@ def osu_bibw(
     iterations: int = DEFAULT_ITERATIONS,
     warmup: int = DEFAULT_WARMUP,
     window: int = DEFAULT_WINDOW,
+    session: Optional["SimSession"] = None,
 ) -> float:
     """Bidirectional bandwidth in B/s (both sides stream simultaneously)."""
     peer = 8 if inter_node else 1
-    job = _job(16, PowerMode.NONE, ProgressMode.POLLING, None)
+    job = _job(16, PowerMode.NONE, ProgressMode.POLLING, None, session=session)
     out = {}
 
     def program(ctx):
@@ -143,10 +157,11 @@ def osu_collective_latency(
     warmup: int = DEFAULT_WARMUP,
     progress: ProgressMode = ProgressMode.POLLING,
     cluster_spec: Optional[ClusterSpec] = None,
+    session: Optional["SimSession"] = None,
 ) -> float:
     """Average collective latency in seconds (barrier-separated timed loop,
     like osu_alltoall / osu_bcast / ...)."""
-    job = _job(n_ranks, mode, progress, cluster_spec)
+    job = _job(n_ranks, mode, progress, cluster_spec, session=session)
     out = {}
 
     def program(ctx):

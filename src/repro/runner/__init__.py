@@ -26,25 +26,37 @@ from .cache import (
     default_cache_dir,
     environment_signature,
 )
-from .cells import APP_SPECS, CellResult, SweepCell, execute_cell
+from .cells import (
+    APP_SPECS,
+    SUBSTRATE_COUNTERS,
+    CellResult,
+    SweepCell,
+    clear_substrate_cache,
+    execute_cell,
+)
 from .pool import (
+    RUNNER_METRICS,
     SweepStats,
     clear_memo,
     load_sweep_stats,
     resolve_jobs,
     run_cells,
     save_sweep_stats,
+    shutdown_pool,
 )
 
 __all__ = [
     "APP_SPECS",
     "CACHE_SCHEMA",
     "CellResult",
+    "RUNNER_METRICS",
     "ResultCache",
+    "SUBSTRATE_COUNTERS",
     "SweepCell",
     "SweepStats",
     "cache_key",
     "clear_memo",
+    "clear_substrate_cache",
     "default_cache_dir",
     "environment_signature",
     "execute_cell",
@@ -52,4 +64,5 @@ __all__ = [
     "resolve_jobs",
     "run_cells",
     "save_sweep_stats",
+    "shutdown_pool",
 ]

@@ -14,6 +14,22 @@ tracer/governor/fault scopes, no module-level mutable state, no clock.
 Seeds (e.g. a fault plan's) live *inside* the cell spec, so a cell run
 in a worker process is bit-identical to the same cell run inline — the
 property the parallel executor and the result cache both rest on.
+``execute_cell`` enforces this itself by shadowing the ambient
+governor/fault scopes for the duration (``use_governor(None)`` /
+``use_faults(None)``), so an inline cell under a CLI scope reconstructs
+exactly what a worker reconstructs: from its params, or nothing.
+
+Substrate cache
+---------------
+Parsing and validating the (cluster, network, power) spec triple is
+identical for every cell of a sweep that shares a substrate, so a
+process caches the parsed frozen spec dataclasses per canonical-JSON
+signature (:data:`SUBSTRATE_COUNTERS` accounts hits/misses/rebuild
+time).  Only the immutable *specs* are shared — every cell still gets a
+fresh :class:`~repro.sim.session.SimSession`, which owns all mutable
+simulation state, so purity is unaffected.  A warm pool worker
+therefore rebuilds each unique substrate spec at most once per worker
+lifetime.
 
 Cell kinds
 ----------
@@ -39,7 +55,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
-__all__ = ["APP_SPECS", "CellResult", "SweepCell", "execute_cell"]
+__all__ = [
+    "APP_SPECS",
+    "CellResult",
+    "SUBSTRATE_COUNTERS",
+    "SweepCell",
+    "clear_substrate_cache",
+    "execute_cell",
+]
 
 
 def _plain(value: Any) -> Any:
@@ -133,20 +156,118 @@ class CellResult:
 
 
 # ---------------------------------------------------------------------
-# Executors
+# Substrate cache (per process; workers keep it warm across batches)
 # ---------------------------------------------------------------------
-def _session_from_params(params: Mapping, keep_segments: bool):
-    from ..sim.session import SimSession
+#: Canonical-JSON (cluster, network, power) signature → parsed frozen
+#: spec dataclasses, validated once.  Sessions are still built fresh per
+#: cell — only the immutable specs are shared.
+_SUBSTRATE_SPECS: Dict[str, tuple] = {}
 
-    return SimSession.from_spec(
+#: Process-wide substrate-cache accounting.  The pool folds per-batch
+#: deltas of these into :class:`~repro.runner.pool.SweepStats` and the
+#: runner metrics registry (never the ambient ``--metrics`` registry —
+#: hit counts vary across jobs/cache layers and would break replay
+#: determinism).
+SUBSTRATE_COUNTERS: Dict[str, float] = {
+    "hits": 0,
+    "misses": 0,
+    "rebuild_s": 0.0,
+}
+
+
+def clear_substrate_cache() -> None:
+    """Drop cached substrate specs and zero the counters (tests)."""
+    _SUBSTRATE_SPECS.clear()
+    SUBSTRATE_COUNTERS["hits"] = 0
+    SUBSTRATE_COUNTERS["misses"] = 0
+    SUBSTRATE_COUNTERS["rebuild_s"] = 0.0
+
+
+def _substrate_specs(params: Mapping) -> tuple:
+    """Parsed ``(cluster_spec, network_spec, power_params)`` for a cell,
+    served from the per-process cache keyed by spec signature."""
+    import json
+
+    signature = json.dumps(
         {
             "cluster": params.get("cluster"),
             "network": params.get("network"),
             "power": params.get("power"),
-            "governor": params.get("governor"),
-            "faults": params.get("faults"),
-            "keep_segments": keep_segments,
-        }
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    cached = _SUBSTRATE_SPECS.get(signature)
+    if cached is not None:
+        SUBSTRATE_COUNTERS["hits"] += 1
+        return cached
+    t0 = time.perf_counter()
+    from ..cluster.specs import ClusterSpec
+    from ..network.params import NetworkSpec
+    from ..power.model import PowerModelParams
+    from ..sim.session import SessionConfigError, check_session_specs
+
+    cluster = (
+        ClusterSpec.from_dict(params["cluster"])
+        if params.get("cluster") is not None
+        else ClusterSpec.paper_testbed()
+    )
+    network = (
+        NetworkSpec.from_dict(params["network"])
+        if params.get("network") is not None
+        else NetworkSpec()
+    )
+    power = (
+        PowerModelParams.from_dict(params["power"])
+        if params.get("power") is not None
+        else None
+    )
+    # Validate once per signature; sessions then skip re-validation.
+    problems = check_session_specs(cluster, network)
+    if problems:
+        raise SessionConfigError(
+            "inconsistent session specs:\n  - " + "\n  - ".join(problems)
+        )
+    cached = (cluster, network, power)
+    _SUBSTRATE_SPECS[signature] = cached
+    SUBSTRATE_COUNTERS["misses"] += 1
+    SUBSTRATE_COUNTERS["rebuild_s"] += time.perf_counter() - t0
+    return cached
+
+
+# ---------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------
+def _cell_governor(params: Mapping):
+    """A fresh in-worker Governor from a cell's plain-data config."""
+    if params.get("governor") is None:
+        return None
+    from ..runtime.governor import Governor, GovernorConfig
+
+    return Governor(GovernorConfig.from_dict(params["governor"]))
+
+
+def _cell_faults(params: Mapping):
+    """A fresh in-worker FaultPlan from a cell's plain-data spec."""
+    if params.get("faults") is None:
+        return None
+    from ..faults.plan import FaultPlan
+
+    return FaultPlan.from_dict(params["faults"])
+
+
+def _session_from_params(params: Mapping, keep_segments: bool):
+    from ..sim.session import SimSession
+
+    cluster, network, power = _substrate_specs(params)
+    return SimSession(
+        cluster_spec=cluster,
+        network_spec=network,
+        power_params=power,
+        keep_segments=keep_segments,
+        validate=False,  # validated once per signature in _substrate_specs
+        governor=_cell_governor(params),
+        faults=_cell_faults(params),
     )
 
 
@@ -154,6 +275,19 @@ def _engine(mode: str):
     from ..collectives.registry import CollectiveConfig, CollectiveEngine, PowerMode
 
     return CollectiveEngine(CollectiveConfig(power_mode=PowerMode(mode)))
+
+
+def _harvest_reports(cell: CellResult, session) -> None:
+    """Seal the session's governor/fault reports into the result as
+    plain dicts (the monitor detail is bulky and dropped)."""
+    if session.governor is not None:
+        report = session.governor.report().to_dict()
+        report.pop("monitor", None)
+        cell.governor = report
+    if session.faults is not None:
+        from dataclasses import asdict
+
+        cell.faults = asdict(session.faults.report())
 
 
 def _seal(job, result, session, params: Mapping) -> CellResult:
@@ -166,14 +300,7 @@ def _seal(job, result, session, params: Mapping) -> CellResult:
         dvfs_transitions=result.stats.dvfs_transitions,
         throttle_transitions=result.stats.throttle_transitions,
     )
-    if session.governor is not None:
-        report = session.governor.report().to_dict()
-        report.pop("monitor", None)
-        cell.governor = report
-    if session.faults is not None:
-        from dataclasses import asdict
-
-        cell.faults = asdict(session.faults.report())
+    _harvest_reports(cell, session)
     interval = params.get("power_trace_interval_s")
     if interval is not None:
         from ..power.meter import PowerMeter
@@ -256,16 +383,12 @@ def _execute_app(params: Mapping) -> CellResult:
     from ..collectives.registry import PowerMode
 
     app = APP_SPECS[params["app"]]
-    governor = None
-    if params.get("governor") is not None:
-        from ..runtime.governor import Governor, GovernorConfig
-
-        governor = Governor(GovernorConfig.from_dict(params["governor"]))
     app_result = run_app(
         app,
         int(params["ranks"]),
         PowerMode(params.get("mode", "none")),
-        governor=governor,
+        governor=_cell_governor(params),
+        faults=_cell_faults(params),
     )
     result = app_result.sim
     cell = CellResult(
@@ -283,10 +406,7 @@ def _execute_app(params: Mapping) -> CellResult:
             "energy_kj": app_result.energy_kj,
         },
     )
-    if governor is not None:
-        report = governor.report().to_dict()
-        report.pop("monitor", None)
-        cell.governor = report
+    _harvest_reports(cell, result.job.session)
     return cell
 
 
@@ -301,12 +421,18 @@ def _execute_osu(params: Mapping) -> CellResult:
         ProgressMode.BLOCKING if params.get("blocking") else ProgressMode.POLLING
     )
     inter_node = not params.get("intra_node", False)
+    # Build the session here (not inside the benchmark's MpiJob) so a
+    # governed/faulted osu cell reconstructs its instrumentation from
+    # its own params, exactly like every other cell kind.
+    session = _session_from_params(params, keep_segments=False)
     if bench == "latency":
-        metric = osu.osu_latency(nbytes, inter_node=inter_node, progress=progress)
+        metric = osu.osu_latency(
+            nbytes, inter_node=inter_node, progress=progress, session=session
+        )
         unit = "s"
     elif bench in ("bw", "bibw"):
         fn = osu.osu_bw if bench == "bw" else osu.osu_bibw
-        metric = fn(nbytes, inter_node=inter_node)
+        metric = fn(nbytes, inter_node=inter_node, session=session)
         unit = "B/s"
     else:
         metric = osu.osu_collective_latency(
@@ -317,9 +443,12 @@ def _execute_osu(params: Mapping) -> CellResult:
             progress=progress,
             iterations=3,
             warmup=1,
+            session=session,
         )
         unit = "s"
-    return CellResult(extra={"metric": metric, "unit": unit})
+    cell = CellResult(extra={"metric": metric, "unit": unit})
+    _harvest_reports(cell, session)
+    return cell
 
 
 _EXECUTORS: Dict[str, Callable[[Mapping], CellResult]] = {
@@ -344,16 +473,27 @@ def execute_cell(cell: SweepCell, capture: Optional[Any] = None) -> CellResult:
     exactly what ``--jobs 1`` observes.  The scope shadows all ambient
     instrumentation, so the cell itself stays a pure function of
     ``(cell, capture)``.
-    """
-    wall0 = time.perf_counter()
-    if capture:
-        from ..obs.capture import capture_cell
 
-        with capture_cell(capture) as cap:
+    Ambient governor/fault scopes are *always* shadowed (independent of
+    ``capture``): a session built inside a cell would otherwise adopt
+    the calling process's ``use_governor``/``use_faults`` scope when run
+    inline but not in a worker, breaking the inline == worker == cache
+    identity.  Governor configs and fault plans reach a cell through its
+    params only.
+    """
+    from ..faults.scope import use_faults
+    from ..runtime.governor import use_governor
+
+    wall0 = time.perf_counter()
+    with use_governor(None), use_faults(None):
+        if capture:
+            from ..obs.capture import capture_cell
+
+            with capture_cell(capture) as cap:
+                result = _EXECUTORS[cell.kind](cell.params)
+            result.metrics = cap.seal()
+        else:
             result = _EXECUTORS[cell.kind](cell.params)
-        result.metrics = cap.seal()
-    else:
-        result = _EXECUTORS[cell.kind](cell.params)
     result.wall_time_s = time.perf_counter() - wall0
     return result
 

@@ -8,42 +8,74 @@ satisfied each cell from (in order):
 1. the in-process memo — duplicates *within* a run (table1 re-requests
    fig9's app cells) execute once per process lifetime;
 2. the on-disk content-addressed cache (unless disabled/refreshing);
-3. actual execution — inline for ``jobs == 1``, sharded across a
-   ``ProcessPoolExecutor`` otherwise.
+3. actual execution — inline for one effective job, batched across a
+   *persistent* warm-worker pool otherwise.
+
+Warm workers
+------------
+The pool is built once (fork-server start method, with
+:mod:`repro.runner.worker` preloaded) and reused across
+:func:`run_cells` calls, so the per-submit cost is a pickle round-trip
+rather than a process spawn.  Cells ship in batches
+(:func:`repro.runner.worker.execute_batch`) to amortize IPC over many
+sub-millisecond cells, and each worker keeps a substrate cache
+(:data:`repro.runner.cells.SUBSTRATE_COUNTERS`) so the frozen
+(cluster, network, power) spec triple is parsed once per unique
+signature per worker, not once per cell.
 
 Determinism argument
 --------------------
 Every cell is a pure function of its spec (fresh ``SimSession`` per
-cell, seeds inside the spec, no ambient scopes in workers), so *where*
-a cell runs cannot change its simulated output.  Futures are collected
-in submit order — never ``as_completed`` — so reassembly order cannot
-change either.  Hence ``--jobs N`` output is byte-identical to
-``--jobs 1`` for every N.
+cell, seeds inside the spec, ambient scopes shadowed in
+``execute_cell``), so *where* a cell runs cannot change its simulated
+output.  Batches are collected in submit order — never ``as_completed``
+— and results concatenate back into submission order, so reassembly
+order cannot change either.  Hence ``--jobs N`` output is byte-identical
+to ``--jobs 1`` for every N.
 
 If the pool itself cannot be built (no fork, sandboxed semaphores) or
 breaks mid-flight, execution degrades to inline — slower, never wrong.
+When the machine has fewer usable CPUs than requested jobs, the job
+count clamps (a pool bigger than the machine is a guaranteed slowdown);
+a clamp all the way to one CPU runs inline with a logged warning.
 """
 
 from __future__ import annotations
 
+import atexit
 import json
+import logging
+import math
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from .cache import ResultCache, cache_key
-from .cells import CellResult, SweepCell, execute_cell
+from .cells import SUBSTRATE_COUNTERS, CellResult, SweepCell, execute_cell
 
 __all__ = [
+    "RUNNER_METRICS",
     "SweepStats",
     "clear_memo",
     "load_sweep_stats",
     "resolve_jobs",
     "run_cells",
     "save_sweep_stats",
+    "shutdown_pool",
 ]
+
+_LOG = logging.getLogger("repro.runner")
+
+#: Runner-infrastructure telemetry (substrate cache hits/misses, worker
+#: reuse, batch counts).  Deliberately a *dedicated* registry, never the
+#: ambient one: ambient metrics snapshots must stay byte-identical
+#: across ``--jobs`` values and cache states, and pool behaviour is
+#: exactly the thing that varies.
+RUNNER_METRICS = MetricsRegistry()
 
 #: In-process memo: cache key -> result.  Subsumes the old per-module
 #: ``_APP_RUN_CACHE`` in bench.experiments — any two cells with the same
@@ -74,12 +106,109 @@ def resolve_jobs(jobs: Optional[int] = None, default: int = 1) -> int:
     return max(1, jobs)
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _effective_jobs(jobs: int, stats: "SweepStats") -> int:
+    """Clamp ``jobs`` to the usable CPU count, recording the decision.
+
+    A pool wider than the machine is a guaranteed slowdown (workers
+    time-slice one core while the parent pays full IPC), so requests
+    beyond ``_available_cpus()`` clamp down with a warning.  A clamp to
+    one means inline execution — deliberate, not a fallback.
+    """
+    avail = _available_cpus()
+    effective = jobs
+    if jobs > avail:
+        effective = max(1, avail)
+        stats.jobs_clamped = True
+        suffix = " (running inline)" if effective == 1 else ""
+        _LOG.warning(
+            "requested %d jobs but only %d usable CPU(s); clamping to %d%s",
+            jobs, avail, effective, suffix,
+        )
+    stats.jobs_effective = effective
+    return effective
+
+
+# ---------------------------------------------------------------------
+# Persistent warm-worker pool
+# ---------------------------------------------------------------------
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_PRELOAD_SET = False
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Start-method preference: forkserver (preloaded) > fork > default.
+
+    Fork-server gives warm workers their biggest win: the server process
+    imports :mod:`repro.runner.worker` (and transitively the simulation
+    stack) once, so each worker starts from a warm interpreter instead
+    of re-importing everything.
+    """
+    global _PRELOAD_SET
+    methods = multiprocessing.get_all_start_methods()
+    if "forkserver" in methods:
+        ctx = multiprocessing.get_context("forkserver")
+        if not _PRELOAD_SET:
+            ctx.set_forkserver_preload(["repro.runner.worker"])
+            _PRELOAD_SET = True
+        return ctx
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent executor, (re)built when the width changes."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS == workers:
+        return _POOL
+    shutdown_pool()
+    _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context())
+    _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (atexit; tests; pool failure)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _batch(cells: List[SweepCell], workers: int) -> List[List[SweepCell]]:
+    """Chunk cells for batched submission.
+
+    Target ~4 batches per worker: large enough to amortize the pickle
+    round-trip over many small cells, small enough that a straggler
+    batch cannot idle the rest of the pool for long.
+    """
+    size = max(1, math.ceil(len(cells) / (workers * 4)))
+    return [cells[i:i + size] for i in range(0, len(cells), size)]
+
+
 @dataclass
 class SweepStats:
     """Accounting for one :func:`run_cells` call (feeds ``bench-report``)."""
 
     experiment: str = ""
     jobs: int = 1
+    #: Worker count actually used after the CPU clamp (== ``jobs`` when
+    #: the machine is wide enough).
+    jobs_effective: int = 1
+    jobs_clamped: bool = False
     cells_total: int = 0
     memo_hits: int = 0
     cache_hits: int = 0
@@ -88,6 +217,16 @@ class SweepStats:
     unique_executed: int = 0
     fell_back_inline: bool = False
     elapsed_s: float = 0.0
+    #: Batches shipped to the pool (0 when everything ran inline/cached).
+    batches: int = 0
+    #: Batches served by an already-warm worker (pool reuse across calls).
+    worker_reuse: int = 0
+    #: Distinct worker PIDs that served batches.
+    workers_used: int = 0
+    #: Substrate spec-cache accounting summed over inline + all workers.
+    substrate_hits: int = 0
+    substrate_misses: int = 0
+    substrate_rebuild_s: float = 0.0
     #: (label, wall_time_s) per executed cell, submit order.
     timings: List[Tuple[str, float]] = field(default_factory=list)
 
@@ -100,6 +239,8 @@ class SweepStats:
         return {
             "experiment": self.experiment,
             "jobs": self.jobs,
+            "jobs_effective": self.jobs_effective,
+            "jobs_clamped": self.jobs_clamped,
             "cells_total": self.cells_total,
             "memo_hits": self.memo_hits,
             "cache_hits": self.cache_hits,
@@ -107,6 +248,12 @@ class SweepStats:
             "unique_executed": self.unique_executed,
             "fell_back_inline": self.fell_back_inline,
             "elapsed_s": self.elapsed_s,
+            "batches": self.batches,
+            "worker_reuse": self.worker_reuse,
+            "workers_used": self.workers_used,
+            "substrate_hits": self.substrate_hits,
+            "substrate_misses": self.substrate_misses,
+            "substrate_rebuild_s": self.substrate_rebuild_s,
             "timings": [list(t) for t in self.timings],
         }
 
@@ -117,6 +264,17 @@ class SweepStats:
             f"{self.unique_executed} executed (jobs={self.jobs}), "
             f"{self.elapsed_s:.2f}s"
         )
+
+
+def _fold_telemetry(stats: SweepStats, telemetry: Dict[str, Any]) -> None:
+    """Accumulate one worker batch's telemetry into stats + RUNNER_METRICS."""
+    stats.substrate_hits += int(telemetry.get("substrate_hits", 0))
+    stats.substrate_misses += int(telemetry.get("substrate_misses", 0))
+    stats.substrate_rebuild_s += float(telemetry.get("substrate_rebuild_s", 0.0))
+    RUNNER_METRICS.inc("runner.substrate.hits", telemetry.get("substrate_hits", 0))
+    RUNNER_METRICS.inc("runner.substrate.misses", telemetry.get("substrate_misses", 0))
+    RUNNER_METRICS.inc("runner.substrate.rebuild_s",
+                       telemetry.get("substrate_rebuild_s", 0.0))
 
 
 def _execute_pending(
@@ -142,24 +300,54 @@ def _execute_pending(
     stats.unique_executed = len(cells)
     stats.executed = len(pending)
 
+    effective = _effective_jobs(jobs, stats)
     by_key: Dict[str, CellResult] = {}
-    if jobs > 1 and len(cells) > 1:
+    if effective > 1 and len(cells) > 1:
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-                # Submit everything up front, then collect strictly in
-                # submit order — completion order must never matter.
-                futures = [pool.submit(execute_cell, c, capture) for c in cells]
-                for key, future in zip(order, futures):
-                    by_key[key] = future.result()
+            from . import worker as worker_mod
+
+            pool = _get_pool(effective)
+            batches = _batch(cells, effective)
+            # Submit everything up front, then collect strictly in
+            # submit order — completion order must never matter.
+            futures = [
+                pool.submit(worker_mod.execute_batch, chunk, capture)
+                for chunk in batches
+            ]
+            flat: List[CellResult] = []
+            pids: set = set()
+            for future in futures:
+                results, telemetry = future.result()
+                flat.extend(results)
+                stats.batches += 1
+                pids.add(telemetry.get("pid"))
+                if telemetry.get("warm"):
+                    stats.worker_reuse += 1
+                    RUNNER_METRICS.inc("runner.worker.reuse")
+                _fold_telemetry(stats, telemetry)
+            stats.workers_used = len(pids)
+            RUNNER_METRICS.inc("runner.batches", len(batches))
+            RUNNER_METRICS.inc("runner.cells.executed", len(flat))
+            by_key = dict(zip(order, flat))
         except Exception:
             # Pool infrastructure failure (fork unavailable, broken
             # worker, pickling regression): rerun everything inline.
             # Correctness never depends on the pool.
+            shutdown_pool()
             stats.fell_back_inline = True
             by_key = {}
     if not by_key:
+        before = dict(SUBSTRATE_COUNTERS)
         for key, cell in zip(order, cells):
             by_key[key] = execute_cell(cell, capture)
+        _fold_telemetry(stats, {
+            "substrate_hits": SUBSTRATE_COUNTERS["hits"] - before["hits"],
+            "substrate_misses": SUBSTRATE_COUNTERS["misses"] - before["misses"],
+            "substrate_rebuild_s": (
+                SUBSTRATE_COUNTERS["rebuild_s"] - before["rebuild_s"]
+            ),
+        })
+        RUNNER_METRICS.inc("runner.cells.executed", len(cells))
     for key, cell in zip(order, cells):
         stats.timings.append((cell.label or key[:12], by_key[key].wall_time_s))
     return [(idx, key, by_key[key]) for idx, key, _cell in pending]
@@ -195,6 +383,7 @@ def run_cells(
     if stats is None:
         stats = SweepStats()
     stats.jobs = resolve_jobs(jobs)
+    stats.jobs_effective = stats.jobs
     stats.cells_total += len(cells)
     wall0 = time.perf_counter()
 
@@ -263,12 +452,15 @@ def save_sweep_stats(
 
     ``metrics`` is an optional :class:`~repro.obs.metrics.MetricsRegistry`
     snapshot; when given, ``bench-report --metrics`` can render it later.
+    Runner-infrastructure counters ride along separately (they are never
+    part of the ambient snapshot — see :data:`RUNNER_METRICS`).
     """
     path = _stats_path(results_dir)
     payload = stats.to_dict()
     payload["cache"] = cache.stats() if cache is not None else None
     payload["cache_dir"] = str(cache.root) if cache is not None else None
     payload["metrics"] = metrics
+    payload["runner_metrics"] = RUNNER_METRICS.snapshot()["counters"]
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:

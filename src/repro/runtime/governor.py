@@ -575,24 +575,34 @@ class GovernorScope:
         return Governor(self.config, scope=self)
 
 
-_AMBIENT: List[GovernorScope] = []
+_AMBIENT: List[Optional[GovernorScope]] = []
 
 
 def ambient_governor_scope() -> Optional[GovernorScope]:
-    """The innermost active :func:`use_governor` scope, if any."""
+    """The innermost active :func:`use_governor` scope, if any.
+
+    A ``use_governor(None)`` shadow entry hides any outer scope: the
+    hermetic cell executor installs one so a cell sees no ambient
+    governor no matter what the calling process has active."""
     return _AMBIENT[-1] if _AMBIENT else None
 
 
 @contextlib.contextmanager
-def use_governor(config: GovernorConfig):
+def use_governor(config: Optional[GovernorConfig]):
     """Install ``config`` as the ambient governor for the ``with`` body.
 
-    Yields the :class:`GovernorScope`; after the body ran,
-    ``scope.reports`` holds one :class:`GovernorReport` per governed job.
+    ``config=None`` installs a *shadow* instead (mirroring
+    ``use_tracer(None)`` / ``use_metrics(None)``): inside the body,
+    :func:`ambient_governor_scope` returns None even when an outer scope
+    is active.
+
+    Yields the :class:`GovernorScope` (None for a shadow); after the
+    body ran, ``scope.reports`` holds one :class:`GovernorReport` per
+    governed job.
     """
-    scope = GovernorScope(config)
+    scope = GovernorScope(config) if config is not None else None
     _AMBIENT.append(scope)
     try:
         yield scope
     finally:
-        _AMBIENT.remove(scope)
+        _AMBIENT.pop()

@@ -55,6 +55,55 @@ def test_refresh_skips_cache_reads(tmp_path, capsys):
     assert "0 cache hits" in err.splitlines()[-2] + err.splitlines()[-1]
 
 
+def test_governed_experiment_honors_jobs_and_cache(tmp_path, capsys):
+    """--governor rides the runner now: --jobs 2 and a warm-cache rerun
+    must both reproduce the cold inline stdout byte-for-byte, including
+    the governor summary line."""
+    cache_dir = tmp_path / "cache"
+    argv = ("experiment", "fig2c", "--governor", "countdown",
+            "--cache-dir", str(cache_dir))
+    code1, cold = run_cli(*argv, "--jobs", "1")
+    clear_memo()
+    code2, jobs2 = run_cli(*argv, "--jobs", "2")
+    clear_memo()
+    code3, warm = run_cli(*argv, "--jobs", "1")
+    assert code1 == code2 == code3 == 0
+    assert "governor[countdown]" in cold
+    assert jobs2 == cold
+    assert warm == cold
+    err = capsys.readouterr().err
+    assert "cache hits" in err
+
+
+def test_faulted_experiment_honors_jobs_and_cache(tmp_path):
+    cache_dir = tmp_path / "cache"
+    argv = ("experiment", "fig2c", "--faults", "degrade:factor=0.5",
+            "--fault-seed", "3", "--cache-dir", str(cache_dir))
+    code1, cold = run_cli(*argv, "--jobs", "1")
+    clear_memo()
+    code2, jobs2 = run_cli(*argv, "--jobs", "2")
+    clear_memo()
+    code3, warm = run_cli(*argv, "--jobs", "1")
+    assert code1 == code2 == code3 == 0
+    assert "faults[seed=3]" in cold
+    assert jobs2 == cold
+    assert warm == cold
+
+
+def test_governed_osu_reports_through_runner(tmp_path):
+    """osu cells carry the governor config and the summary line reflects
+    the reconstructed in-worker reports (warm rerun identical)."""
+    cache_dir = tmp_path / "cache"
+    argv = ("osu", "alltoall", "--size", "64K", "--governor", "countdown",
+            "--cache-dir", str(cache_dir))
+    code1, cold = run_cli(*argv)
+    clear_memo()
+    code2, warm = run_cli(*argv)
+    assert code1 == code2 == 0
+    assert "governor[countdown]" in cold
+    assert warm == cold
+
+
 def test_bench_report_renders_last_sweep(tmp_path):
     run_cli("experiment", "fig2c", "--no-cache")
     code, text = run_cli("bench-report")

@@ -109,17 +109,66 @@ def test_cached_result_identical_to_fresh(tmp_path):
 
 
 # -- parallel == inline -----------------------------------------------
-def test_parallel_results_bit_identical_to_inline(tmp_path):
+def test_parallel_results_bit_identical_to_inline(tmp_path, monkeypatch):
     """The tentpole determinism claim at the library level: jobs=4
-    through a real ProcessPoolExecutor reassembles to exactly the
+    through a real warm-worker pool reassembles to exactly the
     inline results."""
+    from repro.runner import pool, shutdown_pool
+
+    monkeypatch.setattr(pool, "_available_cpus", lambda: 4)
     cells = _cells([1 << 10, 4 << 10, 16 << 10, 64 << 10])
     inline = run_cells(cells, jobs=1)
     clear_memo()
     stats = SweepStats()
-    parallel = run_cells(cells, jobs=4, stats=stats)
+    try:
+        parallel = run_cells(cells, jobs=4, stats=stats)
+    finally:
+        shutdown_pool()
     assert not stats.fell_back_inline  # the pool really ran
+    assert not stats.jobs_clamped
+    assert stats.jobs_effective == 4
+    assert stats.batches > 0
     assert _sim_dicts(inline) == _sim_dicts(parallel)
+
+
+def test_jobs_clamp_to_available_cpus(monkeypatch, caplog):
+    """jobs beyond the usable CPU count clamp (to inline on one CPU)
+    with a warning instead of paying pool overhead for a slowdown."""
+    import logging
+
+    from repro.runner import pool
+
+    monkeypatch.setattr(pool, "_available_cpus", lambda: 1)
+    cells = _cells([1 << 10, 2 << 10])
+    stats = SweepStats()
+    with caplog.at_level(logging.WARNING, logger="repro.runner"):
+        results = run_cells(cells, jobs=4, stats=stats)
+    assert stats.jobs == 4
+    assert stats.jobs_effective == 1
+    assert stats.jobs_clamped
+    assert not stats.fell_back_inline  # deliberate clamp, not a failure
+    assert len(results) == 2
+    assert any("clamping" in rec.message for rec in caplog.records)
+
+
+def test_warm_pool_reused_across_run_cells(monkeypatch):
+    """The pool persists between run_cells calls: the second sweep's
+    batches land on already-warm workers."""
+    from repro.runner import pool, shutdown_pool
+
+    monkeypatch.setattr(pool, "_available_cpus", lambda: 2)
+    try:
+        first = SweepStats()
+        run_cells(_cells([1 << 10, 2 << 10, 4 << 10, 8 << 10]), jobs=2,
+                  stats=first)
+        if first.fell_back_inline:  # pragma: no cover - sandboxed fork
+            return
+        second = SweepStats()
+        run_cells(_cells([3 << 10, 5 << 10, 6 << 10, 7 << 10]), jobs=2,
+                  stats=second)
+        assert second.worker_reuse > 0
+    finally:
+        shutdown_pool()
 
 
 def _sim_dicts(results):
