@@ -1,0 +1,217 @@
+"""Pluggable campaign execution drivers.
+
+A driver answers one question: *given these cache-missing cells, get
+their results into the shared content-addressed store*.  Everything
+else — expansion, probing, manifests, artifacts — is driver-independent,
+which is what makes the store the coordination point: any number of
+drivers (and machines, eventually) can serve one campaign as long as
+they write the same content-addressed entries.
+
+Two drivers ship today:
+
+* :class:`LocalPoolDriver` — the default; routes cells through
+  :func:`repro.runner.run_cells` (warm-worker pool, memo, disk cache).
+* :class:`SubprocessShardDriver` — partitions cells across N
+  *independent* OS processes by cache-key hash.  Each shard runs
+  ``python -m repro.campaign.shard`` with its own slice of the cell
+  set and writes results into the shared cache; the parent collects by
+  re-probing.  This is the stepping stone to SSH/batch-queue drivers:
+  the whole protocol is "ship cell specs, results come back through
+  the store", so replacing ``subprocess`` with ``ssh`` changes nothing
+  above this layer.
+
+Cells are pure functions of their specs, so *which* driver ran a cell
+cannot change its result — the property the byte-identical acceptance
+checks pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..runner import CellResult, ResultCache, SweepCell, execute_cell, run_cells
+
+__all__ = ["CampaignDriver", "LocalPoolDriver", "SubprocessShardDriver"]
+
+#: One executed cell as the executor sees it: (key, result-or-None,
+#: error-or-None).  Exactly one of result/error is set.
+CellOutcome = Tuple[str, Optional[CellResult], Optional[str]]
+
+
+class CampaignDriver:
+    """Base driver: execute cache-missing cells, results land in the cache."""
+
+    #: Short name recorded in telemetry / selected by the CLI.
+    name = "base"
+    #: Preferred minimum wave size (the executor chunks pending cells
+    #: into waves so manifests flush and interrupts lose little work;
+    #: high-startup-cost drivers want bigger waves).
+    min_wave = 32
+
+    def execute(
+        self,
+        cells: Sequence[SweepCell],
+        keys: Sequence[str],
+        cache: Optional[ResultCache],
+        jobs: int,
+        stats,
+        telemetry: Dict[str, Any],
+    ) -> List[CellOutcome]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _salvage(
+        cells: Sequence[SweepCell],
+        keys: Sequence[str],
+        cache: Optional[ResultCache],
+    ) -> List[CellOutcome]:
+        """Per-cell inline execution with per-cell error capture — the
+        slow path that turns one poisoned cell into one ``failed``
+        manifest entry instead of a dead campaign."""
+        out: List[CellOutcome] = []
+        for key, cell in zip(keys, cells):
+            try:
+                result = execute_cell(cell)
+            except Exception as exc:  # noqa: BLE001 - recorded, not hidden
+                out.append((key, None, f"{type(exc).__name__}: {exc}"))
+                continue
+            if cache is not None:
+                cache.put(key, cell, result)
+            out.append((key, result, None))
+        return out
+
+
+class LocalPoolDriver(CampaignDriver):
+    """Run cells through the in-process runner (warm pool / inline)."""
+
+    name = "local"
+    min_wave = 32
+
+    def execute(self, cells, keys, cache, jobs, stats, telemetry):
+        try:
+            results = run_cells(cells, jobs=jobs, cache=cache, stats=stats)
+        except Exception as exc:  # noqa: BLE001 - fall back to per-cell
+            telemetry.setdefault("salvage_errors", []).append(
+                f"{type(exc).__name__}: {exc}"
+            )
+            return self._salvage(cells, keys, cache)
+        return [(key, result, None) for key, result in zip(keys, results)]
+
+
+class SubprocessShardDriver(CampaignDriver):
+    """Partition cells across N independent worker processes.
+
+    Sharding is by cache-key hash — content-stable, so a re-run (or a
+    second machine running the same spec) partitions identically — and
+    results travel exclusively through the shared cache directory: the
+    parent re-probes after the shards exit and inline-salvages anything
+    a crashed shard left behind.
+    """
+
+    name = "shards"
+    min_wave = 1024
+
+    def __init__(self, shards: int = 2, jobs_per_shard: int = 1):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.jobs_per_shard = max(1, jobs_per_shard)
+
+    @staticmethod
+    def shard_of(key: str, shards: int) -> int:
+        """Stable key -> shard assignment (first 8 hex digits mod N)."""
+        return int(key[:8], 16) % shards
+
+    def execute(self, cells, keys, cache, jobs, stats, telemetry):
+        if cache is None:
+            raise ValueError(
+                "SubprocessShardDriver needs a shared result cache; "
+                "run the campaign with caching enabled"
+            )
+        parts: List[List[Tuple[str, SweepCell]]] = [[] for _ in range(self.shards)]
+        for key, cell in zip(keys, cells):
+            parts[self.shard_of(key, self.shards)].append((key, cell))
+
+        shard_stats: List[Dict[str, Any]] = []
+        with tempfile.TemporaryDirectory(prefix="repro-campaign-") as td:
+            procs: List[Tuple[int, Path, subprocess.Popen]] = []
+            for i, part in enumerate(parts):
+                if not part:
+                    continue
+                cells_file = Path(td) / f"shard-{i}.json"
+                out_file = Path(td) / f"shard-{i}.out.json"
+                with open(cells_file, "w", encoding="utf-8") as fh:
+                    json.dump([cell.to_dict() for _key, cell in part], fh)
+                procs.append(
+                    (i, out_file, self._spawn(cells_file, out_file, cache))
+                )
+            for i, out_file, proc in procs:
+                _stdout, stderr = proc.communicate()
+                record: Dict[str, Any] = {
+                    "shard": i,
+                    "cells": len(parts[i]),
+                    "returncode": proc.returncode,
+                }
+                if proc.returncode != 0:
+                    record["error"] = (stderr or b"")[-2000:].decode(
+                        "utf-8", "replace"
+                    )
+                try:
+                    with open(out_file, "r", encoding="utf-8") as fh:
+                        record.update(json.load(fh))
+                except (OSError, ValueError):
+                    pass
+                shard_stats.append(record)
+        telemetry.setdefault("shards", []).extend(shard_stats)
+
+        # Collect through the store; salvage whatever a dead shard lost.
+        out: List[CellOutcome] = []
+        recovered = 0
+        for key, cell in zip(keys, cells):
+            result = cache.get(key)
+            if result is None:
+                recovered += 1
+                (outcome,) = self._salvage([cell], [key], cache)
+                out.append(outcome)
+            else:
+                out.append((key, result, None))
+        if recovered:
+            telemetry["shard_recovered"] = (
+                telemetry.get("shard_recovered", 0) + recovered
+            )
+        if stats is not None:
+            stats.executed += len(cells)
+            stats.unique_executed += len(cells)
+            for key, result, _err in out:
+                if result is not None:
+                    stats.timings.append((key[:12], result.wall_time_s))
+        return out
+
+    def _spawn(
+        self, cells_file: Path, out_file: Path, cache: ResultCache
+    ) -> subprocess.Popen:
+        # Children must resolve the same `repro` package as the parent,
+        # however the parent found it (PYTHONPATH=src, editable install).
+        pkg_root = str(Path(__file__).resolve().parent.parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            pkg_root if not existing else pkg_root + os.pathsep + existing
+        )
+        cmd = [
+            sys.executable, "-m", "repro.campaign.shard",
+            str(cells_file),
+            "--cache-dir", str(cache.root),
+            "--jobs", str(self.jobs_per_shard),
+            "--out", str(out_file),
+        ]
+        return subprocess.Popen(
+            cmd, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )

@@ -1,0 +1,170 @@
+"""The ``campaign.json`` manifest: durable per-cell status.
+
+The manifest is the campaign's restart point *record*: one entry per
+deduplicated cell, in expansion order, carrying status
+(``pending`` / ``done`` / ``failed``) and provenance.  Correctness of
+resume never depends on it — the content-addressed cache is the source
+of truth (the executor re-probes it on every start) — but the manifest
+is what ``repro campaign status`` reads, and what tells an operator how
+far an interrupted campaign got without touching the cache.
+
+Determinism contract
+--------------------
+A manifest is a pure function of (spec, per-cell status): no
+timestamps, no wall-clock timings, no hostnames.  Two complete runs of
+the same spec — on different machines, days apart — produce
+byte-identical ``campaign.json`` files.  Volatile accounting (cell wall
+times, shard stats) lives in the separate ``telemetry.json``.
+
+Writes go through a temp file + :func:`os.replace`, so an interrupted
+campaign can never leave a torn manifest; a corrupt manifest loads as
+``None`` and the executor rebuilds it from the spec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["CellEntry", "CampaignManifest", "MANIFEST_SCHEMA", "STATUSES"]
+
+MANIFEST_SCHEMA = 1
+
+#: Legal per-cell states, in lifecycle order.
+STATUSES = ("pending", "done", "failed")
+
+
+@dataclass
+class CellEntry:
+    """Status + provenance of one deduplicated campaign cell."""
+
+    key: str
+    experiment: str
+    kind: str
+    label: str
+    status: str = "pending"
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "key": self.key,
+            "experiment": self.experiment,
+            "kind": self.kind,
+            "label": self.label,
+            "status": self.status,
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellEntry":
+        return cls(
+            key=data["key"],
+            experiment=data["experiment"],
+            kind=data["kind"],
+            label=data.get("label", ""),
+            status=data.get("status", "pending"),
+            error=data.get("error"),
+        )
+
+
+@dataclass
+class CampaignManifest:
+    """Ordered cell statuses for one (spec, expansion)."""
+
+    name: str
+    spec_digest: str
+    cells: List[CellEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_key = {entry.key: entry for entry in self.cells}
+
+    @classmethod
+    def from_plan(cls, plan) -> "CampaignManifest":
+        """Fresh all-pending manifest for an expanded campaign."""
+        from .spec import spec_digest
+
+        return cls(
+            name=plan.spec.name,
+            spec_digest=spec_digest(plan.spec),
+            cells=[
+                CellEntry(
+                    key=key, experiment=cell.experiment,
+                    kind=cell.kind, label=cell.label,
+                )
+                for key, cell in zip(plan.keys, plan.cells)
+            ],
+        )
+
+    def entry(self, key: str) -> CellEntry:
+        return self._by_key[key]
+
+    def mark(self, key: str, status: str, error: Optional[str] = None) -> None:
+        if status not in STATUSES:
+            raise ValueError(f"unknown status {status!r}")
+        entry = self._by_key[key]
+        entry.status = status
+        entry.error = error
+
+    def counts(self) -> Dict[str, int]:
+        out = {status: 0 for status in STATUSES}
+        for entry in self.cells:
+            out[entry.status] = out.get(entry.status, 0) + 1
+        return out
+
+    @property
+    def complete(self) -> bool:
+        return all(entry.status == "done" for entry in self.cells)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "name": self.name,
+            "spec_digest": self.spec_digest,
+            "counts": self.counts(),
+            "cells": [entry.to_dict() for entry in self.cells],
+        }
+
+    def save(self, path) -> None:
+        """Atomic write (temp file + rename); failures degrade silently
+        — a read-only results dir must not kill a running campaign."""
+        path = Path(path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-manifest-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+
+    @classmethod
+    def load(cls, path) -> Optional["CampaignManifest"]:
+        """Read a manifest; missing, torn, or wrong-schema files → None."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            if data.get("schema") != MANIFEST_SCHEMA:
+                return None
+            return cls(
+                name=data["name"],
+                spec_digest=data["spec_digest"],
+                cells=[CellEntry.from_dict(c) for c in data["cells"]],
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None

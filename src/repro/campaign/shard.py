@@ -1,0 +1,70 @@
+"""Shard worker: ``python -m repro.campaign.shard CELLS.json ...``.
+
+The subprocess half of
+:class:`~repro.campaign.drivers.SubprocessShardDriver`.  It reads a
+JSON list of serialized :class:`~repro.runner.cells.SweepCell`, runs
+them through the ordinary runner against the *shared* content-addressed
+cache, and writes a small telemetry record.  Results never travel back
+over a pipe — the cache directory is the rendezvous, which is exactly
+the contract a future SSH/batch-queue driver inherits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.campaign.shard",
+        description="execute one campaign shard against a shared result cache",
+    )
+    parser.add_argument("cells", metavar="CELLS.json",
+                        help="JSON list of serialized sweep cells")
+    parser.add_argument("--cache-dir", required=True, metavar="DIR",
+                        help="shared content-addressed result cache")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes inside this shard (default 1)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write a JSON telemetry record here")
+    args = parser.parse_args(argv)
+
+    from ..runner import ResultCache, SweepCell, SweepStats, run_cells
+
+    try:
+        with open(args.cells, "r", encoding="utf-8") as fh:
+            cells = [SweepCell.from_dict(d) for d in json.load(fh)]
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"bad cells file {args.cells!r}: {exc}", file=sys.stderr)
+        return 2
+
+    cache = ResultCache(Path(args.cache_dir))
+    stats = SweepStats(experiment="campaign-shard", jobs=args.jobs)
+    run_cells(cells, jobs=args.jobs, cache=cache, stats=stats)
+
+    record = {
+        "pid": os.getpid(),
+        "cells_run": len(cells),
+        "executed": stats.unique_executed,
+        "cache_hits": stats.cache_hits + stats.memo_hits,
+        "elapsed_s": stats.elapsed_s,
+    }
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(record, fh)
+        except OSError as exc:
+            print(f"cannot write {args.out!r}: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    raise SystemExit(main())

@@ -14,6 +14,15 @@ Commands
     List the available experiments.
 ``bench-report``
     Print cache statistics and per-cell timings from the last sweep run.
+``campaign run|status|report``
+    Run, resume, or inspect a declarative sweep campaign
+    (:mod:`repro.campaign`): a YAML/JSON spec expands to a deduplicated
+    cell grid, the executor probes the result cache first and executes
+    only the misses (so rerunning a finished campaign executes nothing
+    and resuming an interrupted one picks up where it stopped), and a
+    completed campaign renders its paper artifacts (JSON + txt).
+``cache stats|gc``
+    Inspect or garbage-collect the content-addressed result cache.
 ``trace-export``
     Convert a ``--trace`` JSONL file to a viewer format (Chrome trace
     JSON for chrome://tracing or https://ui.perfetto.dev).
@@ -447,6 +456,89 @@ def build_parser() -> argparse.ArgumentParser:
              "(requires the sweep to have run under --metrics)",
     )
 
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run, resume, or inspect a declarative sweep campaign",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_cmd", required=True)
+    p_camp_run = camp_sub.add_parser(
+        "run", help="run a campaign spec (resumes automatically: cells "
+                    "already in the result cache are never re-executed)",
+    )
+    p_camp_run.add_argument("spec", metavar="SPEC",
+                            help="campaign spec file (.yaml/.yml/.json)")
+    p_camp_run.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="campaign directory for manifest/telemetry/artifacts "
+             "(default: results/campaigns/<name>)",
+    )
+    p_camp_run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: spec's jobs, $REPRO_JOBS, or "
+             "all cores)",
+    )
+    p_camp_run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result cache (default: spec's cache_dir, "
+             "$REPRO_CACHE_DIR, or ~/.cache/repro)",
+    )
+    p_camp_run.add_argument(
+        "--driver", choices=["local", "shards"], default="local",
+        help="execution driver: local warm-worker pool, or N independent "
+             "shard processes coordinating through the shared cache",
+    )
+    p_camp_run.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="shard process count for --driver shards (default 2)",
+    )
+    p_camp_run.add_argument(
+        "--refresh", action="store_true",
+        help="re-execute every cell, overwriting cached results",
+    )
+    p_camp_run.add_argument(
+        "--no-artifacts", action="store_true",
+        help="skip the artifact-rendering stage",
+    )
+    for sub_name, sub_help in (
+        ("status", "per-cell status of a campaign's manifest"),
+        ("report", "telemetry + artifact summary of a campaign"),
+    ):
+        p_c = camp_sub.add_parser(sub_name, help=sub_help)
+        p_c.add_argument("spec", metavar="SPEC", help="campaign spec file")
+        p_c.add_argument("--dir", default=None, metavar="DIR",
+                         help="campaign directory (default: "
+                              "results/campaigns/<name>)")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or garbage-collect the result cache",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_cmd", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="entry count, size, and per-experiment breakdown",
+    )
+    p_cache_gc = cache_sub.add_parser(
+        "gc", help="evict corrupt, expired, and over-budget entries "
+                   "(oldest first)",
+    )
+    for p_c in (p_cache_stats, p_cache_gc):
+        p_c.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="cache location (default: $REPRO_CACHE_DIR or "
+                 "~/.cache/repro)",
+        )
+    p_cache_gc.add_argument(
+        "--max-age", type=float, default=None, metavar="DAYS",
+        help="evict entries older than DAYS (fractions allowed)",
+    )
+    p_cache_gc.add_argument(
+        "--max-size", type=float, default=None, metavar="MB",
+        help="evict oldest entries until the store fits MB megabytes",
+    )
+    p_cache_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+
     p_trace = sub.add_parser(
         "trace-export",
         help="convert a --trace JSONL file to a trace-viewer format",
@@ -636,6 +728,174 @@ def cmd_trace_export(args, out) -> int:
     return 0
 
 
+def cmd_campaign(args, out) -> int:
+    from .campaign import (
+        CampaignManifest,
+        CampaignSpecError,
+        LocalPoolDriver,
+        SubprocessShardDriver,
+        default_campaign_dir,
+        load_campaign,
+        run_campaign,
+        spec_digest,
+    )
+
+    try:
+        spec = load_campaign(args.spec)
+    except CampaignSpecError as exc:
+        print(f"bad campaign spec: {exc}", file=out)
+        return 2
+    campaign_dir = Path(args.dir) if args.dir else default_campaign_dir(spec)
+
+    if args.campaign_cmd == "run":
+        from .runner import ResultCache, resolve_jobs, save_sweep_stats
+
+        cache_dir = args.cache_dir or spec.cache_dir
+        cache = ResultCache(Path(cache_dir) if cache_dir else None)
+        jobs = resolve_jobs(
+            args.jobs if args.jobs is not None else spec.jobs,
+            default=os.cpu_count() or 1,
+        )
+        driver = (
+            SubprocessShardDriver(shards=args.shards, jobs_per_shard=jobs)
+            if args.driver == "shards" else LocalPoolDriver()
+        )
+        result = run_campaign(
+            spec, campaign_dir=campaign_dir, cache=cache, jobs=jobs,
+            driver=driver, refresh=args.refresh,
+            artifacts=not args.no_artifacts,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+        save_sweep_stats(result.stats, cache=cache)
+        tele = result.telemetry
+        rows = [
+            ("cells", len(result.plan)),
+            ("duplicates folded", result.plan.duplicates),
+            ("probe hits", tele["probe_hits"]),
+            ("executed", tele["executed"]),
+            ("failed", tele["failed"]),
+            ("hit rate", f"{tele['hit_rate']:.3f}"),
+            ("cell p50/p95 (s)",
+             f"{tele['cell_wall_s']['p50']:.3f}/{tele['cell_wall_s']['p95']:.3f}"),
+            ("artifacts", len(result.artifacts)),
+            ("elapsed (s)", f"{tele['elapsed_s']:.2f}"),
+        ]
+        print(
+            format_table([f"campaign {spec.name} [{driver.name}]", "value"], rows),
+            file=out,
+        )
+        for record in result.artifacts:
+            print(f"wrote {record['json']}", file=out)
+            print(f"wrote {record['txt']}", file=out)
+        if not result.ok:
+            for entry in result.manifest.cells:
+                if entry.status == "failed":
+                    print(f"FAILED {entry.label}: {entry.error}", file=out)
+            return 1
+        return 0
+
+    if args.campaign_cmd == "status":
+        manifest = CampaignManifest.load(campaign_dir / "campaign.json")
+        if manifest is None:
+            print(
+                f"no manifest under {campaign_dir} — campaign has not "
+                "started (or the manifest is unreadable)",
+                file=out,
+            )
+            return 1
+        digest = spec_digest(spec)
+        counts = manifest.counts()
+        rows = [("spec digest", digest[:12])]
+        if manifest.spec_digest != digest:
+            rows.append(("NOTE", "spec changed since this manifest was written"))
+        rows += [(status, counts[status]) for status in ("done", "pending", "failed")]
+        print(format_table([f"campaign {spec.name}", "value"], rows), file=out)
+        for entry in manifest.cells:
+            if entry.status != "done":
+                line = f"{entry.status:8s} {entry.experiment}  {entry.label}"
+                if entry.error:
+                    line += f"  ({entry.error})"
+                print(line, file=out)
+        return 0 if manifest.complete else 1
+
+    # report: telemetry + artifacts of the last run
+    tele_path = campaign_dir / "telemetry.json"
+    try:
+        import json as _json
+
+        with open(tele_path, "r", encoding="utf-8") as fh:
+            tele = _json.load(fh)
+    except (OSError, ValueError):
+        print(
+            f"no telemetry under {campaign_dir} — run the campaign first",
+            file=out,
+        )
+        return 1
+    rows = [
+        ("driver", tele.get("driver", "?")),
+        ("jobs", tele.get("jobs", "?")),
+        ("resumed", tele.get("resumed", False)),
+        ("cells", tele.get("cells_total", 0)),
+        ("probe hits", tele.get("probe_hits", 0)),
+        ("executed", tele.get("executed", 0)),
+        ("failed", tele.get("failed", 0)),
+        ("hit rate", f"{tele.get('hit_rate', 0.0):.3f}"),
+        ("elapsed (s)", f"{tele.get('elapsed_s', 0.0):.2f}"),
+    ]
+    wall = tele.get("cell_wall_s") or {}
+    if wall:
+        rows.append(
+            ("cell p50/p95/max (s)",
+             f"{wall.get('p50', 0):.3f}/{wall.get('p95', 0):.3f}"
+             f"/{wall.get('max', 0):.3f}")
+        )
+    for shard in tele.get("shards", ()):
+        rows.append(
+            (f"shard {shard.get('shard')}",
+             f"{shard.get('cells', 0)} cells, rc={shard.get('returncode')}")
+        )
+    print(format_table([f"campaign {tele.get('campaign', spec.name)}", "value"],
+                       rows), file=out)
+    for record in tele.get("artifacts", ()):
+        print(f"artifact {record['experiment']}: {record['json']}", file=out)
+    return 0
+
+
+def cmd_cache(args, out) -> int:
+    from .runner import ResultCache
+
+    cache = ResultCache(Path(args.cache_dir) if args.cache_dir else None)
+    if args.cache_cmd == "stats":
+        stats = cache.disk_stats()
+        rows = [
+            ("entries", stats["entries"]),
+            ("total size (MB)", f"{stats['total_bytes'] / 1e6:.2f}"),
+            ("corrupt", stats["corrupt"]),
+        ]
+        for experiment, count in sorted(stats["by_experiment"].items()):
+            rows.append((f"  {experiment}", count))
+        print(format_table([f"cache {cache.root}", "value"], rows), file=out)
+        return 0
+
+    # gc
+    report = cache.gc(
+        max_age_s=args.max_age * 86400.0 if args.max_age is not None else None,
+        max_size_bytes=int(args.max_size * 1e6) if args.max_size is not None else None,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if report["dry_run"] else "removed"
+    removed = report["removed"]
+    print(
+        f"{verb} {report['removed_total']} entries "
+        f"({removed['corrupt']} corrupt, {removed['expired']} expired, "
+        f"{removed['evicted']} evicted, {removed['tmp']} tmp), "
+        f"freeing {report['freed_bytes'] / 1e6:.2f} MB; "
+        f"{report['kept']} entries kept ({cache.root})",
+        file=out,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -675,6 +935,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _instrumented(args, out, lambda instr: cmd_app(args, out, instr))
     if args.command == "bench-report":
         return cmd_bench_report(args, out)
+    if args.command == "campaign":
+        return cmd_campaign(args, out)
+    if args.command == "cache":
+        return cmd_cache(args, out)
     if args.command == "trace-export":
         return cmd_trace_export(args, out)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -115,6 +115,10 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def contains(self, key: str) -> bool:
+        """Cheap presence probe (no read, no hit/miss accounting)."""
+        return self._path(key).exists()
+
     def get(self, key: str) -> Optional[CellResult]:
         """Stored result for ``key``, or None (corrupt entries = miss)."""
         path = self._path(key)
@@ -162,3 +166,156 @@ class ResultCache:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    # -- maintenance (the `repro cache` CLI) --------------------------
+    def iter_entries(self):
+        """Yield ``(path, stat_result)`` for every entry file on disk.
+
+        Orphaned temp files (a writer died between ``mkstemp`` and
+        ``os.replace``) and entries that vanish mid-scan are skipped —
+        the scan itself never throws on a live, concurrently-used cache.
+        """
+        try:
+            shards = sorted(p for p in self.root.iterdir() if p.is_dir())
+        except OSError:
+            return
+        for shard in shards:
+            try:
+                files = sorted(shard.iterdir())
+            except OSError:
+                continue
+            for path in files:
+                if path.suffix != ".json" or path.name.startswith(".tmp-"):
+                    continue
+                try:
+                    yield path, path.stat()
+                except OSError:
+                    continue
+
+    def disk_stats(self) -> Dict[str, Any]:
+        """Scan the store: entry count, total bytes, per-experiment counts.
+
+        Provenance (the owning experiment) is read from each entry body;
+        corrupt entries are counted separately rather than failing the
+        scan, mirroring the read path's corrupt-equals-miss stance.
+        """
+        entries = 0
+        total_bytes = 0
+        corrupt = 0
+        by_experiment: Dict[str, int] = {}
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for path, st in self.iter_entries():
+            entries += 1
+            total_bytes += st.st_size
+            oldest = st.st_mtime if oldest is None else min(oldest, st.st_mtime)
+            newest = st.st_mtime if newest is None else max(newest, st.st_mtime)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    experiment = json.load(fh).get("experiment") or "(unknown)"
+            except (OSError, ValueError):
+                corrupt += 1
+                experiment = "(corrupt)"
+            by_experiment[experiment] = by_experiment.get(experiment, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "corrupt": corrupt,
+            "by_experiment": by_experiment,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def gc(
+        self,
+        max_age_s: Optional[float] = None,
+        max_size_bytes: Optional[int] = None,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Evict entries: corrupt ones, then by age, then oldest-first
+        until the store fits ``max_size_bytes``.
+
+        Deletions are single ``unlink`` calls (atomic; a concurrent
+        reader either sees the whole entry or a miss), vanished files
+        are ignored, and orphaned ``.tmp-*`` files older than an hour
+        are swept too.  ``dry_run`` reports what would go without
+        touching anything.
+        """
+        import time as _time
+
+        now = _time.time() if now is None else now
+        removed = {"corrupt": 0, "expired": 0, "evicted": 0, "tmp": 0}
+        freed = 0
+        live: list = []  # (mtime, size, path)
+        for path, st in self.iter_entries():
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    entry = json.load(fh)
+                ok = isinstance(entry, dict) and "result" in entry
+            except (OSError, ValueError):
+                ok = False
+            if not ok:
+                if self._remove(path, dry_run):
+                    removed["corrupt"] += 1
+                    freed += st.st_size
+                continue
+            if max_age_s is not None and now - st.st_mtime > max_age_s:
+                if self._remove(path, dry_run):
+                    removed["expired"] += 1
+                    freed += st.st_size
+                continue
+            live.append((st.st_mtime, st.st_size, path))
+        if max_size_bytes is not None:
+            total = sum(size for _mtime, size, _path in live)
+            # Oldest-first eviction until the survivors fit the budget.
+            for _mtime, size, path in sorted(live, key=lambda e: e[0]):
+                if total <= max_size_bytes:
+                    break
+                if self._remove(path, dry_run):
+                    removed["evicted"] += 1
+                    freed += size
+                    total -= size
+        removed["tmp"] = self._sweep_tmp(now, dry_run)
+        kept = len(live) - removed["evicted"]
+        return {
+            "removed": removed,
+            "removed_total": sum(removed.values()),
+            "freed_bytes": freed,
+            "kept": kept,
+            "dry_run": dry_run,
+        }
+
+    @staticmethod
+    def _remove(path: Path, dry_run: bool) -> bool:
+        if dry_run:
+            return True
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def _sweep_tmp(self, now: float, dry_run: bool, min_age_s: float = 3600.0) -> int:
+        """Remove orphaned ``.tmp-*`` files old enough that no live
+        writer can still own them."""
+        swept = 0
+        try:
+            shards = [p for p in self.root.iterdir() if p.is_dir()]
+        except OSError:
+            return 0
+        for shard in shards:
+            try:
+                candidates = list(shard.glob(".tmp-*"))
+            except OSError:
+                continue
+            for path in candidates:
+                try:
+                    if now - path.stat().st_mtime < min_age_s:
+                        continue
+                except OSError:
+                    continue
+                if self._remove(path, dry_run):
+                    swept += 1
+        return swept

@@ -103,6 +103,25 @@ class SweepCell:
         """The content that identifies this cell (feeds the cache key)."""
         return {"kind": self.kind, "params": self.params}
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON form (content + provenance) — the wire format of
+        the campaign shard protocol and of ``campaign.json`` manifests."""
+        return {
+            "experiment": self.experiment,
+            "kind": self.kind,
+            "params": self.params,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepCell":
+        return cls(
+            experiment=data["experiment"],
+            kind=data["kind"],
+            params=data["params"],
+            label=data.get("label", ""),
+        )
+
 
 @dataclass
 class CellResult:

@@ -401,6 +401,12 @@ def run_cells(
         if not refresh and key in _MEMO:
             results[idx] = _MEMO[key]
             stats.memo_hits += 1
+            # Write-through: the memo outlives any one cache (campaigns
+            # pointed at different stores share one process memo), and
+            # downstream consumers — resume probes, shard collection —
+            # treat the *store* as the source of truth.
+            if cache is not None and not cache.contains(key):
+                cache.put(key, cell, _MEMO[key])
             continue
         if cache is not None and not refresh:
             hit = cache.get(key)

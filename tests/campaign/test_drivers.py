@@ -1,0 +1,102 @@
+"""Driver equivalence: local pool vs subprocess shards."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    LocalPoolDriver,
+    SubprocessShardDriver,
+    run_campaign,
+)
+from repro.runner import ResultCache
+
+SPEC = {
+    "name": "t",
+    "sweeps": [
+        {
+            "name": "grid",
+            "matrix": {"nbytes": [1024, 4096], "mode": ["none", "proposed"]},
+            "params": {"op": "alltoall", "n_ranks": 16},
+        }
+    ],
+}
+
+
+def test_shard_assignment_is_stable():
+    keys = [f"{i * 2654435761:08x}"[-8:].ljust(64, "0") for i in range(64)]
+    first = [SubprocessShardDriver.shard_of(k, 3) for k in keys]
+    assert first == [SubprocessShardDriver.shard_of(k, 3) for k in keys]
+    assert set(first) == {0, 1, 2}
+
+
+def test_shard_driver_rejects_bad_counts():
+    with pytest.raises(ValueError):
+        SubprocessShardDriver(shards=0)
+
+
+def test_shard_driver_requires_cache():
+    driver = SubprocessShardDriver(shards=2)
+    with pytest.raises(ValueError, match="shared result cache"):
+        driver.execute([], [], None, 1, None, {})
+
+
+def test_shard_driver_matches_local_driver(tmp_path):
+    """Same spec through both drivers: same manifests, same results."""
+    spec = CampaignSpec.from_dict(SPEC)
+
+    local = run_campaign(
+        spec, campaign_dir=tmp_path / "local", jobs=1,
+        cache=ResultCache(tmp_path / "cache-local"),
+        driver=LocalPoolDriver(),
+    )
+    shards = run_campaign(
+        spec, campaign_dir=tmp_path / "shards", jobs=1,
+        cache=ResultCache(tmp_path / "cache-shards"),
+        driver=SubprocessShardDriver(shards=2),
+        refresh=True,  # the process memo must not satisfy the shard run
+    )
+
+    assert local.ok and shards.ok
+    assert (tmp_path / "local" / "campaign.json").read_bytes() == (
+        tmp_path / "shards" / "campaign.json"
+    ).read_bytes()
+
+    cache_local = ResultCache(tmp_path / "cache-local")
+    cache_shards = ResultCache(tmp_path / "cache-shards")
+    for key in local.plan.keys:
+        a, b = cache_local.get(key), cache_shards.get(key)
+        assert a is not None and b is not None
+        da, db = a.to_dict(), b.to_dict()
+        da.pop("wall_time_s"), db.pop("wall_time_s")  # measured, not simulated
+        assert da == db
+
+    tele = json.loads((tmp_path / "shards" / "telemetry.json").read_text())
+    assert tele["driver"] == "shards"
+    assert sum(s["cells"] for s in tele["shards"]) == len(shards.plan)
+    assert all(s["returncode"] == 0 for s in tele["shards"])
+
+
+def test_crashed_shard_is_salvaged(tmp_path, monkeypatch):
+    """A shard that dies leaves its cells to the parent's inline path."""
+    spec = CampaignSpec.from_dict(SPEC)
+    def dead_shard(self, cells_file, out_file, cache):
+        return subprocess.Popen(
+            [sys.executable, "-c", "import sys; sys.exit(3)"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+
+    monkeypatch.setattr(SubprocessShardDriver, "_spawn", dead_shard)
+    result = run_campaign(
+        spec, campaign_dir=tmp_path / "camp", jobs=1,
+        cache=ResultCache(tmp_path / "cache"),
+        driver=SubprocessShardDriver(shards=2),
+        refresh=True,
+        artifacts=False,
+    )
+    assert result.ok  # salvage executed every cell inline
+    assert result.telemetry["shard_recovered"] == 4
+    assert all(s["returncode"] == 3 for s in result.telemetry["shards"])

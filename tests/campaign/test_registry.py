@@ -1,0 +1,44 @@
+"""Registry completeness: the CLI, plan, and campaign layers agree.
+
+Campaigns reach experiments through :data:`repro.bench.CELL_PLANS` while
+the CLI reaches them through :data:`repro.cli.EXPERIMENTS`; a name in
+one but not the other means a figure the campaign engine silently
+cannot cover.  And every planned cell must survive the shard wire
+format (``to_dict``/``from_dict``) without changing identity.
+"""
+
+from repro.bench import CELL_PLANS
+from repro.cli import EXPERIMENTS
+from repro.runner import SweepCell, cache_key
+
+
+def test_every_cli_experiment_has_a_cell_plan():
+    missing = sorted(set(EXPERIMENTS) - set(CELL_PLANS))
+    assert not missing, (
+        f"experiments without plan producers (campaigns cannot run "
+        f"them): {missing}"
+    )
+
+
+def test_every_cell_plan_is_cli_reachable():
+    orphaned = sorted(set(CELL_PLANS) - set(EXPERIMENTS))
+    assert not orphaned, f"plans with no CLI experiment: {orphaned}"
+
+
+def test_all_planned_cells_round_trip_the_wire_format():
+    for name, producer in sorted(CELL_PLANS.items()):
+        plan = producer()
+        assert plan.cells, f"plan {name!r} expands to no cells"
+        for cell in plan.cells:
+            clone = SweepCell.from_dict(cell.to_dict())
+            assert clone.to_dict() == cell.to_dict(), f"{name}: {cell.label}"
+            assert cache_key(clone) == cache_key(cell), (
+                f"{name}: wire format changes the cache key of {cell.label}"
+            )
+
+
+def test_plan_expansion_is_deterministic():
+    for name, producer in sorted(CELL_PLANS.items()):
+        a = [cache_key(c) for c in producer().cells]
+        b = [cache_key(c) for c in producer().cells]
+        assert a == b, f"plan {name!r} expands nondeterministically"

@@ -1,0 +1,121 @@
+"""Cache maintenance: disk_stats and gc (the `repro cache` backend)."""
+
+import os
+import time
+
+from repro.runner import CellResult, ResultCache, SweepCell, cache_key
+
+
+def _cell(nbytes, experiment="maint"):
+    return SweepCell(
+        experiment, "collective",
+        {"op": "alltoall", "nbytes": nbytes, "n_ranks": 16, "mode": "none"},
+    )
+
+
+def _result():
+    return CellResult(duration_s=1.0, energy_j=1.0)
+
+
+def _fill(cache, n, experiment="maint"):
+    # Key by content: vary nbytes per experiment too, or the entries of
+    # different experiments would collide (provenance is not keyed).
+    base = 1024 if experiment in ("maint", "expA") else 1 << 20
+    keys = []
+    for i in range(n):
+        cell = _cell(base * (i + 1), experiment=experiment)
+        key = cache_key(cell)
+        cache.put(key, cell, _result())
+        keys.append(key)
+    return keys
+
+
+def test_disk_stats_counts_entries_and_experiments(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill(cache, 3, experiment="expA")
+    _fill(cache, 2, experiment="expB")
+    stats = cache.disk_stats()
+    assert stats["entries"] == 5
+    assert stats["corrupt"] == 0
+    assert stats["by_experiment"] == {"expA": 3, "expB": 2}
+    assert stats["total_bytes"] > 0
+
+
+def test_disk_stats_on_missing_root(tmp_path):
+    stats = ResultCache(tmp_path / "nope").disk_stats()
+    assert stats["entries"] == 0
+
+
+def test_gc_removes_corrupt_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, 2)
+    victim = cache._path(keys[0])
+    victim.write_text("{torn")
+    report = cache.gc()
+    assert report["removed"]["corrupt"] == 1
+    assert report["kept"] == 1
+    assert not victim.exists()
+    assert cache.get(keys[1]) is not None
+
+
+def test_gc_max_age_evicts_old_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, 3)
+    old = cache._path(keys[0])
+    past = time.time() - 10 * 86400
+    os.utime(old, (past, past))
+    report = cache.gc(max_age_s=86400.0)
+    assert report["removed"]["expired"] == 1
+    assert report["kept"] == 2
+    assert not old.exists()
+
+
+def test_gc_max_size_evicts_oldest_first(tmp_path):
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, 4)
+    # Age the first two so they are the eviction candidates.
+    for i, key in enumerate(keys[:2]):
+        past = time.time() - (100 - i)
+        path = cache._path(key)
+        os.utime(path, (past, past))
+    total = cache.disk_stats()["total_bytes"]
+    per_entry = total // 4
+    report = cache.gc(max_size_bytes=per_entry * 2 + 1)
+    assert report["removed"]["evicted"] == 2
+    assert not cache._path(keys[0]).exists()
+    assert not cache._path(keys[1]).exists()
+    assert cache.get(keys[2]) is not None
+
+
+def test_gc_dry_run_removes_nothing(tmp_path):
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, 3)
+    report = cache.gc(max_age_s=0.0, dry_run=True)
+    assert report["dry_run"] is True
+    assert report["removed_total"] == 3
+    assert all(cache.get(k) is not None for k in keys)
+
+
+def test_gc_sweeps_stale_tmp_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill(cache, 1)
+    shard_dir = next(tmp_path.iterdir())
+    stale = shard_dir / ".tmp-abandoned.json"
+    stale.write_text("{}")
+    past = time.time() - 7200
+    os.utime(stale, (past, past))
+    fresh = shard_dir / ".tmp-inflight.json"
+    fresh.write_text("{}")
+    report = cache.gc()
+    assert report["removed"]["tmp"] == 1
+    assert not stale.exists()
+    assert fresh.exists()  # possibly a live writer — left alone
+
+
+def test_contains_probe(tmp_path):
+    cache = ResultCache(tmp_path)
+    (key,) = _fill(cache, 1)
+    assert cache.contains(key)
+    assert not cache.contains("0" * 64)
+    # contains() does not touch hit/miss accounting
+    assert cache.hits == 0 and cache.misses == 0
