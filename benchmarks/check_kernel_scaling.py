@@ -1,18 +1,27 @@
 #!/usr/bin/env python
-"""Compare the kernel-scaling speedup of a fresh run against a baseline.
+"""Gate the kernel-scaling benchmarks in CI.
 
 Usage::
 
-    python benchmarks/check_kernel_scaling.py BASELINE.txt FRESH.txt [--max-regression 0.20]
+    python benchmarks/check_kernel_scaling.py BASELINE.txt FRESH.txt \
+        [--max-regression 0.20] [--kernel-json results/BENCH_kernel.json \
+         --min-speedup 5.0]
 
-Both files are ``results/kernel_scaling.txt`` reports; the number under
-test is the trailing ``speedup (same horizon): N.Nx`` note.  Exits
-non-zero when the fresh speedup regresses by more than the allowed
-fraction — the CI bench-smoke job runs this to catch perf regressions in
-the incremental fabric re-rating path.
+Two independent gates:
+
+* **Incremental re-rating regression** — both positional files are
+  ``results/kernel_scaling.txt`` reports; the number under test is the
+  trailing ``speedup (same horizon): N.Nx`` note.  Fails when the fresh
+  speedup regresses by more than the allowed fraction.
+* **Vectorized kernel** (``--kernel-json``) — reads the
+  ``BENCH_kernel.json`` report emitted by ``bench_kernel_scaling.py``
+  and fails unless the vectorized kernel is at least ``--min-speedup``
+  faster than the scalar oracle on the gated (windowed) alltoall *and*
+  produced byte-identical results.
 """
 
 import argparse
+import json
 import re
 import sys
 
@@ -28,23 +37,45 @@ def read_speedup(path: str) -> float:
     return float(match.group(1))
 
 
+def check_kernel_json(path: str, min_speedup: float) -> bool:
+    """Gate the vectorized-kernel report; returns True when it passes."""
+    with open(path) as fh:
+        report = json.load(fh)
+    speedup = report["vector_speedup"]
+    identical = report["identical"]
+    ok = identical and speedup >= min_speedup
+    verdict = "OK" if ok else "FAIL"
+    print(
+        f"vector kernel: {speedup:.1f}x vs scalar "
+        f"(floor {min_speedup:.1f}x), identical={identical} -> {verdict}"
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("fresh")
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed fractional drop vs baseline (default 0.20)")
+    parser.add_argument("--kernel-json", default=None,
+                        help="BENCH_kernel.json report to gate (optional)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="vectorized-kernel speedup floor (default 5.0)")
     args = parser.parse_args(argv)
 
     baseline = read_speedup(args.baseline)
     fresh = read_speedup(args.fresh)
     floor = baseline * (1.0 - args.max_regression)
-    verdict = "OK" if fresh >= floor else "REGRESSION"
+    ok = fresh >= floor
+    verdict = "OK" if ok else "REGRESSION"
     print(
         f"kernel-scaling speedup: baseline {baseline:.1f}x, fresh {fresh:.1f}x, "
         f"floor {floor:.1f}x -> {verdict}"
     )
-    return 0 if fresh >= floor else 1
+    if args.kernel_json is not None:
+        ok = check_kernel_json(args.kernel_json, args.min_speedup) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,7 +1,16 @@
 """InfiniBand network model: links, flows, max-min sharing, QDR parameters."""
 
-from .fabric import Fabric, Flow, Link, maxmin_rates
+from .fabric import Fabric, Flow, Link, ScalarFabric, maxmin_rates, vector_kernel_available
 from .ibnet import IBNetwork
 from .params import NetworkSpec
 
-__all__ = ["Fabric", "Flow", "IBNetwork", "Link", "NetworkSpec", "maxmin_rates"]
+__all__ = [
+    "Fabric",
+    "Flow",
+    "IBNetwork",
+    "Link",
+    "NetworkSpec",
+    "ScalarFabric",
+    "maxmin_rates",
+    "vector_kernel_available",
+]

@@ -13,12 +13,32 @@ water-filling only over the affected **connected component** — the flows
 transitively sharing links with a changed link.  Components share no
 links, so their allocations are independent and the untouched ones keep
 their rates (this is exact, not an approximation).  Byte progress is
-settled lazily per flow (each flow remembers when its rate last changed),
-and completions come off a min-heap of predicted finish times guarded by
-per-flow epochs, so superseded predictions are simply skipped — no global
-re-scan per event.  Set ``NetworkSpec(incremental_rerate=False)`` to force
-the historical whole-fabric recompute (the baseline
+settled lazily per flow (each flow remembers when its rate last changed).
+Set ``NetworkSpec(incremental_rerate=False)`` to force the historical
+whole-fabric recompute (the baseline
 ``benchmarks/bench_kernel_scaling.py`` measures against).
+
+Two interchangeable kernels implement this contract (DESIGN.md §12):
+
+* :class:`ScalarFabric` — the reference object-graph implementation:
+  per-flow completion predictions on a min-heap guarded by per-flow
+  epochs, one re-rate per fabric event.
+* ``repro.network.kernel.VectorFabric`` — the numpy implementation:
+  flow state lives in slot-addressed arrays, same-timestamp admissions
+  are batched into one deferred water-filling flush, and the single
+  wake-up timer is armed from an ``argmin`` over a persistent
+  finish-time vector instead of per-flow heap pushes.
+
+``Fabric(env, spec)`` is a factory returning the vector kernel when
+``spec.vectorized`` is true and numpy is importable, else the scalar
+kernel.  Both produce identical per-flow rates and completion times —
+the scalar path is kept as the differential-testing oracle
+(``tests/network/test_fabric_vectorized.py``).  To make that equality
+exact (not approximate), every floating-point fold both kernels share is
+performed in one canonical order: components are walked in flow-admission
+(``seq``) order, water-filling subtracts each link's frozen demand as a
+single summed delta, and due completions are processed in
+``(finish, seq)`` order.
 
 This is where the paper's contention parameter ``Cnet`` comes from in our
 reproduction: it is *emergent* — eight ranks per node draining through one
@@ -29,6 +49,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import operator
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim import Environment, Event
@@ -38,6 +59,26 @@ from .params import NetworkSpec
 #: Residual bytes below which a flow is considered complete (far smaller
 #: than any datatype we transfer).
 _EPSILON_BYTES = 0.5
+
+#: Tight-link detection tolerance for water-filling: a link is at the
+#: current water level when its fair share ``s`` satisfies
+#: ``s <= max(level·(1+REL), level + ABS)``.  The relative term absorbs
+#: accumulated rounding at physical bandwidths; the absolute term keeps
+#: equal-share links tie-breaking consistently when the level itself is
+#: ~0 (heavily faulted links), where a purely relative tolerance
+#: degenerates to exact comparison.  ABS is far below any physically
+#: meaningful rate (1e-24 B/s ≈ one byte per 3e7 ages of the universe).
+_TIGHT_REL = 1e-12
+_TIGHT_ABS = 1e-24
+
+_seq_of = operator.attrgetter("seq")
+
+
+def _tight_limit(level: float) -> float:
+    """Shares at or below this value count as tight at ``level``."""
+    rel = level * (1.0 + _TIGHT_REL)
+    ab = level + _TIGHT_ABS
+    return ab if ab > rel else rel
 
 
 class Link:
@@ -81,7 +122,7 @@ class Link:
 
 
 class Flow:
-    """One in-flight bulk transfer."""
+    """One in-flight bulk transfer (scalar-kernel state layout)."""
 
     __slots__ = (
         "links",
@@ -143,6 +184,12 @@ def maxmin_rates(
     ``congestion`` degrades a link carrying n flows to
     ``capacity / (1 + congestion·min(n−1, congestion_saturation))``
     before sharing.
+
+    Floating-point folds are canonical (see module docstring): the flows
+    frozen in a round are processed in their position order within
+    ``flows``, and each link's residual is reduced once per round by the
+    summed demand of that round's frozen flows — bit-for-bit what the
+    vector kernel's ``np.add.at`` accumulation computes.
     """
     rates: Dict[Flow, float] = {}
     if not flows:
@@ -166,6 +213,7 @@ def maxmin_rates(
         for link in flow.links:
             members.setdefault(link, {})[flow] = None
     flow_list = list(unfrozen)
+    order = {flow: i for i, flow in enumerate(flow_list)}
     by_cap = sorted(range(len(flow_list)), key=lambda i: (flow_list[i].cap, i))
     cap_ptr = 0
     while unfrozen:
@@ -193,47 +241,59 @@ def maxmin_rates(
                 j += 1
         else:
             level = bottleneck_share
-            tight = [lk for lk, s in link_share.items() if s <= level * (1 + 1e-12)]
+            limit = _tight_limit(level)
+            tight = [lk for lk, s in link_share.items() if s <= limit]
             frozen_set: Dict[Flow, None] = {}
             for link in tight:
                 for flow in members[link]:
                     frozen_set[flow] = None
             frozen = list(frozen_set)
+        frozen.sort(key=order.__getitem__)
+        delta: Dict[Link, float] = {}
         for flow in frozen:
             rate = min(level, flow.cap)
             rates[flow] = rate
             for link in flow.links:
-                residual[link] = max(0.0, residual[link] - rate)
+                delta[link] = delta.get(link, 0.0) + rate
                 del members[link][flow]
             del unfrozen[flow]
+        for link, d in delta.items():
+            residual[link] = max(0.0, residual[link] - d)
     return rates
 
 
-class Fabric:
-    """Tracks all active flows and advances them through simulated time."""
+class FabricBase:
+    """State and bookkeeping shared by the scalar and vector kernels:
+    link registry, the active-flow set, the link → flows index, per-link
+    admission counters, and the zero-rated (stalled) flow set."""
 
     def __init__(self, env: Environment, spec: NetworkSpec):
         self.env = env
         self.spec = spec
         self._links: Dict[str, Link] = {}
         #: Active flows in admission order (ordered set).
-        self._flows: Dict[Flow, None] = {}
+        self._flows: Dict[object, None] = {}
         #: link → active flows crossing it (ordered set per link).
-        self._flows_on: Dict[Link, Dict[Flow, None]] = {}
-        #: Min-heap of (finish_time, seq, epoch, flow) predictions; entries
-        #: whose epoch lags the flow's are stale and skipped on pop.
-        self._completions: List[Tuple[float, int, int, Flow]] = []
+        self._flows_on: Dict[Link, Dict[object, None]] = {}
         self._timer: Optional[Timer] = None
         self._seq = 0
+        #: Flows whose last water-filling left them at rate 0 (their
+        #: bottleneck link is fully faulted).  A zero-rated flow has no
+        #: completion prediction, so nothing on its own links will ever
+        #: wake it; every re-rate therefore extends its seed links with
+        #: the stalled flows' links, re-rating them as soon as *any*
+        #: component event fires (and immediately once capacity returns).
+        self._stalled: Dict[object, None] = {}
         #: Components re-rated since construction (self-profiling metric:
         #: pairs with ``flows_rerated`` to show the incremental win).
         self.rerate_calls = 0
         self.flows_rerated = 0
-        #: Total bytes ever carried (observability / tests).
+        #: Total bytes ever *delivered* (observability / tests).
         self.bytes_delivered = 0.0
-        #: Per-link counters: bytes carried and flows started (observability
-        #: for topology studies — e.g. traffic over rack uplinks).
-        self.link_bytes: Dict[str, float] = {}
+        #: Per-link flows-started counters (observability for topology
+        #: studies — e.g. traffic over rack uplinks).  Credited at
+        #: admission; per-link *bytes* (``link_bytes``) are settled at
+        #: delivery time, alongside ``bytes_delivered``.
         self.link_flows: Dict[str, int] = {}
 
     # -- link management -----------------------------------------------------
@@ -247,17 +307,19 @@ class Fabric:
             raise ValueError(f"duplicate link {name}")
         link = Link(name, capacity, capacity_fn)
         self._links[name] = link
+        self._flows_on[link] = {}
+        self.link_flows[name] = 0
+        self._register_link(link)
         return link
+
+    def _register_link(self, link: Link) -> None:
+        """Kernel hook: called once per new link."""
 
     def link(self, name: str) -> Link:
         return self._links[name]
 
     def has_link(self, name: str) -> bool:
         return name in self._links
-
-    @property
-    def active_flows(self) -> List[Flow]:
-        return list(self._flows)
 
     # -- transfers -------------------------------------------------------------
     def transfer(
@@ -269,60 +331,51 @@ class Fabric:
     ) -> Event:
         """Start a bulk transfer; the returned event fires at completion
         with the completion time as its value."""
-        event = self.env.event()
+        env = self.env
+        event = Event(env)
         if nbytes <= 0:
-            event.succeed(self.env.now)
+            event.succeed(env.now)
             return event
         if not links:
             raise ValueError("a transfer needs at least one link")
-        flow = Flow(tuple(links), nbytes, cpu_cap, event, label=label)
-        now = self.env.now
-        flow.seq = self._seq
-        self._seq += 1
-        flow.started_at = now
-        flow.updated_at = now
+        now = env.now
+        flow = self._make_flow(tuple(links), nbytes, cpu_cap, event, label, now)
         self._flows[flow] = None
+        link_flows = self.link_flows
         for link in flow.links:
-            self._flows_on.setdefault(link, {})[flow] = None
-            self.link_bytes[link.name] = self.link_bytes.get(link.name, 0.0) + nbytes
-            self.link_flows[link.name] = self.link_flows.get(link.name, 0) + 1
-        tracer = self.env.tracer
+            self._flows_on[link][flow] = None
+            link_flows[link.name] += 1
+        tracer = env.tracer
         if tracer.enabled:
             tracer.flow_start(
-                now, label, nbytes, [lk.name for lk in flow.links],
+                now, label, float(nbytes), [lk.name for lk in flow.links],
                 seq=flow.seq,
             )
-        self._rerate(flow.links)
+        self._admit(flow)
         return event
 
+    # -- kernel hooks --------------------------------------------------------
+    def _make_flow(self, links, nbytes, cap, event, label, now):
+        raise NotImplementedError
+
+    def _admit(self, flow) -> None:
+        raise NotImplementedError
+
     def capacities_changed(self, links: Optional[Iterable[Link]] = None) -> None:
-        """Re-read link capacities (call after DVFS transitions).
+        raise NotImplementedError
 
-        With ``links`` given, only the components touching those links are
-        re-rated; without, every link currently carrying flows is treated
-        as changed (the safe legacy behaviour).
-        """
-        if not self._flows:
-            return
-        if links is None:
-            links = [lk for lk, flows_on in self._flows_on.items() if flows_on]
-        self._rerate(links)
+    # -- shared internals ----------------------------------------------------
+    def _carrying_links(self) -> List[Link]:
+        return [lk for lk, flows_on in self._flows_on.items() if flows_on]
 
-    # -- internals ---------------------------------------------------------------
-    def _settle_flow(self, flow: Flow, now: float) -> None:
-        """Drain bytes at the current rate since the flow's last update."""
-        dt = now - flow.updated_at
-        if dt > 0.0 and flow.rate > 0.0:
-            moved = flow.rate * dt
-            if moved > flow.remaining:
-                moved = flow.remaining
-            flow.remaining -= moved
-            self.bytes_delivered += moved
-        flow.updated_at = now
+    def _stalled_links(self) -> List[Link]:
+        return [lk for flow in self._stalled for lk in flow.links]
 
-    def _component(self, seed_links: Iterable[Link]) -> Dict[Flow, None]:
-        """All active flows transitively sharing links with ``seed_links``."""
-        component: Dict[Flow, None] = {}
+    def _component(self, seed_links: Iterable[Link]) -> List[object]:
+        """All active flows transitively sharing links with ``seed_links``,
+        in admission (``seq``) order — the canonical fold order both
+        kernels settle and water-fill in."""
+        component: Dict[object, None] = {}
         seen_links = set()
         stack: List[Link] = []
         for link in seed_links:
@@ -339,17 +392,81 @@ class Fabric:
                     if other not in seen_links:
                         seen_links.add(other)
                         stack.append(other)
-        return component
+        flows = list(component)
+        flows.sort(key=_seq_of)
+        return flows
+
+
+class ScalarFabric(FabricBase):
+    """Reference kernel: per-flow objects, a completion min-heap guarded
+    by per-flow epochs, one water-filling pass per fabric event."""
+
+    def __init__(self, env: Environment, spec: NetworkSpec):
+        super().__init__(env, spec)
+        #: Min-heap of (finish_time, seq, epoch, flow) predictions; entries
+        #: whose epoch lags the flow's are stale and skipped on pop.
+        self._completions: List[Tuple[float, int, int, Flow]] = []
+        #: Per-link bytes *delivered* (settled with ``bytes_delivered``).
+        self.link_bytes: Dict[str, float] = {}
+
+    def _register_link(self, link: Link) -> None:
+        self.link_bytes[link.name] = 0.0
+
+    @property
+    def active_flows(self) -> List[Flow]:
+        return list(self._flows)
+
+    def _make_flow(self, links, nbytes, cap, event, label, now) -> Flow:
+        flow = Flow(links, nbytes, cap, event, label=label)
+        flow.seq = self._seq
+        self._seq += 1
+        flow.started_at = now
+        flow.updated_at = now
+        return flow
+
+    def _admit(self, flow: Flow) -> None:
+        self._rerate(flow.links)
+
+    def capacities_changed(self, links: Optional[Iterable[Link]] = None) -> None:
+        """Re-read link capacities (call after DVFS transitions).
+
+        With ``links`` given, only the components touching those links are
+        re-rated; without, every link currently carrying flows is treated
+        as changed (the safe legacy behaviour).
+        """
+        if not self._flows:
+            return
+        if links is None:
+            links = self._carrying_links()
+        self._rerate(links)
+
+    # -- internals ---------------------------------------------------------------
+    def _settle_flow(self, flow: Flow, now: float) -> None:
+        """Drain bytes at the current rate since the flow's last update."""
+        dt = now - flow.updated_at
+        if dt > 0.0 and flow.rate > 0.0:
+            moved = flow.rate * dt
+            if moved > flow.remaining:
+                moved = flow.remaining
+            flow.remaining -= moved
+            self.bytes_delivered += moved
+            if moved > 0.0:
+                link_bytes = self.link_bytes
+                for link in flow.links:
+                    link_bytes[link.name] += moved
+        flow.updated_at = now
 
     def _rerate(self, changed_links: Iterable[Link]) -> None:
         """Settle and re-run water-filling over the affected component."""
         if not self._flows:
             self._arm_timer()
             return
+        if self._stalled:
+            changed_links = list(changed_links) + self._stalled_links()
         if self.spec.incremental_rerate:
             component = self._component(changed_links)
         else:
-            component = dict(self._flows)
+            component = list(self._flows)  # admission order == seq order
         if not component:
             self._arm_timer()
             return
@@ -363,23 +480,28 @@ class Fabric:
                 if link not in capacities:
                     capacities[link] = link.capacity
         rates = maxmin_rates(
-            list(component),
+            component,
             capacities,
             self.spec.flow_congestion,
             self.spec.flow_congestion_saturation,
         )
-        any_progress = False
+        stalled = self._stalled
         for flow in component:
-            flow.rate = rates[flow]
+            rate = rates[flow]
+            flow.rate = rate
             flow._epoch += 1
-            if flow.rate > 0.0:
-                any_progress = True
-                finish = flow.updated_at + flow.remaining / flow.rate
+            if rate > 0.0:
+                if stalled:
+                    stalled.pop(flow, None)
+                finish = flow.updated_at + flow.remaining / rate
                 heapq.heappush(
                     self._completions, (finish, flow.seq, flow._epoch, flow)
                 )
-        if not any_progress:  # pragma: no cover - all component flows stalled
-            raise RuntimeError("fabric deadlock: active flows with zero rate")
+            else:
+                # Fully faulted bottleneck: no completion prediction.
+                # Tracked so the next component event re-rates it (see
+                # FabricBase._stalled) instead of dropping it forever.
+                stalled[flow] = None
         self._arm_timer()
 
     def _arm_timer(self) -> None:
@@ -411,12 +533,21 @@ class Fabric:
             _, _, epoch, flow = heapq.heappop(heap)
             if flow in self._flows and epoch == flow._epoch:
                 due.append(flow)
+        # Settle all due flows first, then process completions — two
+        # passes so the byte-counter fold order matches the vector
+        # kernel's batched settle + batched completion credit.
+        for flow in due:
+            self._settle_flow(flow, now)
         freed: Dict[Link, None] = {}
         tracer = self.env.tracer
         for flow in due:
-            self._settle_flow(flow, now)
             if flow.remaining <= _EPSILON_BYTES:
-                self.bytes_delivered += flow.remaining
+                tail = flow.remaining
+                self.bytes_delivered += tail
+                if tail > 0.0:
+                    link_bytes = self.link_bytes
+                    for link in flow.links:
+                        link_bytes[link.name] += tail
                 flow.remaining = 0.0
                 del self._flows[flow]
                 for link in flow.links:
@@ -439,7 +570,36 @@ class Fabric:
                 if flow.rate > 0.0:
                     finish = flow.updated_at + flow.remaining / flow.rate
                     heapq.heappush(heap, (finish, flow.seq, flow._epoch, flow))
+                else:
+                    # Re-rated to zero between prediction and wake-up:
+                    # park it with the stalled set rather than dropping
+                    # the flow with no prediction at all.
+                    self._stalled[flow] = None
         if freed:
             self._rerate(freed)
         else:
             self._arm_timer()
+
+
+def vector_kernel_available() -> bool:
+    """True when the numpy-backed fabric kernel can be used."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy is a baked-in dep here
+        return False
+    return True
+
+
+def Fabric(env: Environment, spec: NetworkSpec) -> FabricBase:
+    """Build the fabric kernel selected by ``spec``.
+
+    Returns the numpy :class:`~repro.network.kernel.VectorFabric` when
+    ``spec.vectorized`` is true and numpy is importable; otherwise the
+    :class:`ScalarFabric` reference kernel.  Both are drop-in equivalent
+    (identical rates, completion times, and event ordering).
+    """
+    if getattr(spec, "vectorized", True) and vector_kernel_available():
+        from .kernel import VectorFabric
+
+        return VectorFabric(env, spec)
+    return ScalarFabric(env, spec)

@@ -157,6 +157,17 @@ class Environment:
             raise ValueError(f"call_at({time}) lies in the past (now={self._now})")
         return Timer(self, time - self._now, callback)
 
+    def defer(self, callback: Callable[[Timer], None]) -> Timer:
+        """Run ``callback`` after the events already queued at the current
+        timestamp (a zero-delay timer; returns its cancellable handle).
+
+        This is the batching primitive behind the vector fabric kernel:
+        every flow admitted at one timestamp lands in a pending list and a
+        single deferred flush re-rates them together, so one wave of n
+        admissions costs one water-filling pass instead of n.
+        """
+        return Timer(self, 0.0, callback)
+
     def step(self) -> None:
         """Process the single next event; raises :class:`EmptySchedule` if none."""
         self._purge_cancelled()

@@ -303,3 +303,35 @@ def test_event_factory_returns_pending_event():
     assert isinstance(ev, Event)
     assert not ev.triggered
     assert not ev.processed
+
+
+def test_defer_runs_after_events_already_queued_at_now():
+    """defer() is the fabric's batching primitive: the callback must see
+    every event already scheduled at the current timestamp."""
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+
+    def at_one(_timer):
+        order.append("timer")
+        env.defer(lambda _t: order.append("deferred"))
+
+    env.call_at(1.0, at_one)
+    env.run()
+    # The deferred callback fired at t=1.0, after both same-time events.
+    assert order == ["timer", "a", "b", "deferred"]
+
+
+def test_defer_is_cancellable():
+    env = Environment()
+    fired = []
+    timer = env.defer(lambda _t: fired.append(True))
+    timer.cancel()
+    env.run()
+    assert not fired
