@@ -5,9 +5,10 @@ Usage::
 
     python benchmarks/check_kernel_scaling.py BASELINE.txt FRESH.txt \
         [--max-regression 0.20] [--kernel-json results/BENCH_kernel.json \
-         --min-speedup 5.0]
+         --min-speedup 5.0] [--power-json results/BENCH_power.json \
+         --min-power-speedup 5.0]
 
-Two independent gates:
+Three independent gates:
 
 * **Incremental re-rating regression** — both positional files are
   ``results/kernel_scaling.txt`` reports; the number under test is the
@@ -18,6 +19,12 @@ Two independent gates:
   and fails unless the vectorized kernel is at least ``--min-speedup``
   faster than the scalar oracle on the gated (windowed) alltoall *and*
   produced byte-identical results.
+* **Columnar power path** (``--power-json``) — reads the
+  ``BENCH_power.json`` report emitted by ``bench_power_path.py`` and
+  fails unless the columnar accountant + vectorized meter replayed the
+  governed/faulted mutation stream at least ``--min-power-speedup``
+  faster than the object-segment oracle with byte-identical energies
+  and traces.
 """
 
 import argparse
@@ -52,6 +59,21 @@ def check_kernel_json(path: str, min_speedup: float) -> bool:
     return ok
 
 
+def check_power_json(path: str, min_speedup: float) -> bool:
+    """Gate the columnar power-path report; returns True when it passes."""
+    with open(path) as fh:
+        report = json.load(fh)
+    speedup = report["power_speedup"]
+    identical = report["identical"]
+    ok = identical and speedup >= min_speedup
+    verdict = "OK" if ok else "FAIL"
+    print(
+        f"power path: {speedup:.1f}x vs object oracle "
+        f"(floor {min_speedup:.1f}x), identical={identical} -> {verdict}"
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -62,6 +84,10 @@ def main(argv=None) -> int:
                         help="BENCH_kernel.json report to gate (optional)")
     parser.add_argument("--min-speedup", type=float, default=5.0,
                         help="vectorized-kernel speedup floor (default 5.0)")
+    parser.add_argument("--power-json", default=None,
+                        help="BENCH_power.json report to gate (optional)")
+    parser.add_argument("--min-power-speedup", type=float, default=5.0,
+                        help="columnar power-path speedup floor (default 5.0)")
     args = parser.parse_args(argv)
 
     baseline = read_speedup(args.baseline)
@@ -75,6 +101,8 @@ def main(argv=None) -> int:
     )
     if args.kernel_json is not None:
         ok = check_kernel_json(args.kernel_json, args.min_speedup) and ok
+    if args.power_json is not None:
+        ok = check_power_json(args.power_json, args.min_power_speedup) and ok
     return 0 if ok else 1
 
 

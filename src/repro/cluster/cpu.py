@@ -28,6 +28,12 @@ class Activity(enum.Enum):
     #: Sleeping in the kernel waiting for an HCA interrupt ("blocking" mode).
     BLOCKED = "blocked"
 
+    # Members are singletons and compare by identity, so the identity hash
+    # is a valid (and C-level) replacement for Enum's per-call
+    # ``hash(self._name_)`` — Activity appears in the memoized power-model
+    # key, making this hash part of the accounting hot path.
+    __hash__ = object.__hash__
+
 
 #: Listener signature: called *before* a state change with (core, now).
 StateListener = Callable[["Core", float], None]
@@ -84,6 +90,10 @@ class Core:
             listener(self, now)
 
     # -- state mutation ----------------------------------------------------
+    # The listener loop is inlined in each setter: state changes are the
+    # energy-accounting hot path and a `_notify` frame per mutation is
+    # measurable on governed runs.
+
     def set_frequency(self, freq_ghz: float, now: float) -> None:
         """Apply a DVFS change (snapped to the nearest supported P-state).
 
@@ -94,7 +104,8 @@ class Core:
         snapped = self.spec.nearest_pstate(freq_ghz)
         if snapped == self.frequency_ghz:
             return
-        self._notify(now)
+        for listener in self._listeners:
+            listener(self, now)
         if self.tracer.enabled:
             self.tracer.power_state(
                 now, self.core_id, self.node_id, "frequency",
@@ -108,7 +119,8 @@ class Core:
             raise ValueError(f"invalid T-state {level}")
         if level == self.tstate:
             return
-        self._notify(now)
+        for listener in self._listeners:
+            listener(self, now)
         if self.tracer.enabled:
             self.tracer.power_state(
                 now, self.core_id, self.node_id, "tstate", self.tstate, level
@@ -118,7 +130,8 @@ class Core:
     def set_activity(self, activity: Activity, now: float) -> None:
         if activity == self.activity:
             return
-        self._notify(now)
+        for listener in self._listeners:
+            listener(self, now)
         if self.tracer.enabled:
             self.tracer.core_activity(
                 now, self.core_id, self.node_id,

@@ -5,6 +5,7 @@ from .calibration import CalibrationResult, fit
 from .meter import PowerMeter, PowerTrace
 from .metrics import SchemeComparison, energy_delay_product, energy_delay_squared
 from .model import PowerModel, PowerModelParams
+from .timeline import SegmentStore, SegmentView
 
 __all__ = [
     "CalibrationResult",
@@ -14,6 +15,8 @@ __all__ = [
     "PowerModelParams",
     "PowerSegment",
     "PowerTrace",
+    "SegmentStore",
+    "SegmentView",
     "SchemeComparison",
     "energy_delay_product",
     "energy_delay_squared",

@@ -8,30 +8,35 @@ one constant-power segment:
 
 Segments are also recorded so the sampled :class:`repro.power.meter.
 PowerMeter` can reconstruct the kW-vs-time series the paper plots.
+
+Two storage backends share one accounting discipline (DESIGN.md §13):
+
+* **columnar** (default) — segments append into a structure-of-arrays
+  :class:`~repro.power.timeline.SegmentStore`; ``segments`` is a lazy
+  :class:`~repro.power.timeline.SegmentView` that still yields
+  :class:`PowerSegment` objects for existing callers.
+* **object** (``columnar=False``) — the original per-segment
+  ``PowerSegment`` list, kept verbatim as the differential-testing oracle
+  (mirroring ``NetworkSpec(vectorized=False)`` for the fabric kernel).
+
+Both paths evaluate power, accumulate energy and order segments
+identically, so their results are byte-identical — a property the
+``benchmarks/bench_power_path.py`` gate and the hypothesis differential
+suite both enforce.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
+
+import numpy as np
 
 from ..cluster.cpu import Core
 from ..cluster.topology import Cluster
 from .model import PowerModel
+from .timeline import PowerSegment, SegmentStore, SegmentView
 
-
-@dataclass(frozen=True)
-class PowerSegment:
-    """A span of constant power on one core."""
-
-    core_id: int
-    start: float
-    end: float
-    power_w: float
-
-    @property
-    def energy_j(self) -> float:
-        return self.power_w * (self.end - self.start)
+__all__ = ["EnergyAccountant", "PowerSegment"]
 
 
 class EnergyAccountant:
@@ -43,12 +48,13 @@ class EnergyAccountant:
         model: Optional[PowerModel] = None,
         start_time: float = 0.0,
         keep_segments: bool = True,
+        columnar: bool = True,
     ):
         self.cluster = cluster
         self.model = model or PowerModel()
         self.start_time = start_time
         self.keep_segments = keep_segments
-        self.segments: List[PowerSegment] = []
+        self.columnar = columnar
         self._last_time: Dict[int, float] = {
             core.core_id: start_time for core in cluster.cores
         }
@@ -57,7 +63,55 @@ class EnergyAccountant:
         }
         self._finalized_at: Optional[float] = None
         self._detached = False
+        if columnar:
+            self._store: Optional[SegmentStore] = (
+                SegmentStore() if keep_segments else None
+            )
+            if keep_segments:
+                (self._stage_buf, self._stage_fold,
+                 self._stage_limit) = self._store.staging()
+            else:
+                self._stage_buf = None
+                self._stage_fold = None
+                self._stage_limit = 0
+            self._segment_list: List[PowerSegment] = []
+            self._on_change = self._on_change_columnar
+            # List-indexed last-change times (core ids are small ints);
+            # two list ops per event beat two dict probes.
+            self._last_list = [start_time] * (
+                max((c.core_id for c in cluster.cores), default=-1) + 1
+            )
+        else:
+            self._store = None
+            self._stage_buf = None
+            self._stage_fold = None
+            self._stage_limit = 0
+            self._segment_list = []
+            self._on_change = self._on_change_object
+            self._last_list = []
+        # Hot-path bindings: the model's memo dict (None when the model is
+        # uncached) lets the listener resolve a repeated state's power with
+        # one dict probe instead of a method call; ``_core_power`` is the
+        # slow path that also fills that memo.
+        self._model_cache = self.model._cache
+        self._core_power = self.model.core_power
+        # With a store, per-core energy is derived from the columns on
+        # demand (see _sync_core_energy); this watermark is the row count
+        # the ``_core_energy`` dict currently reflects.
+        self._energy_rows = 0
         cluster.add_listener(self._on_change)
+
+    @property
+    def segments(self) -> Union[List[PowerSegment], SegmentView]:
+        """The recorded timeline, as ``PowerSegment``-yielding sequence."""
+        if self._store is not None:
+            return SegmentView(self._store)
+        return self._segment_list
+
+    @property
+    def segment_store(self) -> Optional[SegmentStore]:
+        """The raw columnar store (``None`` on the object/oracle path)."""
+        return self._store
 
     # -- listener ----------------------------------------------------------
     def detach(self) -> None:
@@ -76,9 +130,45 @@ class EnergyAccountant:
     def detached(self) -> bool:
         return self._detached
 
-    def _on_change(self, core: Core, now: float) -> None:
-        """Close the segment that ends at ``now`` (core state is still the
-        *old* state when this is invoked)."""
+    def _on_change_columnar(self, core: Core, now: float) -> None:
+        """Columnar hot path: close the segment ending at ``now`` (core
+        state is still the *old* state when this is invoked)."""
+        cid = core.core_id
+        last_list = self._last_list
+        last = last_list[cid]
+        if now > last:
+            if self._finalized_at is not None:
+                raise RuntimeError(
+                    f"EnergyAccountant was finalized at "
+                    f"t={self._finalized_at} but core {cid} changed state "
+                    f"at t={now}; call detach() before reusing the cluster "
+                    "(a finalized accountant must not silently extend its "
+                    "segments)"
+                )
+            cache = self._model_cache
+            if cache is not None:
+                power = cache.get(
+                    (core.frequency_ghz, core.tstate, core.activity)
+                )
+                if power is None:
+                    power = self._core_power(core)
+            else:
+                power = self._core_power(core)
+            buf = self._stage_buf
+            if buf is not None:
+                # Stage straight into the store's buffer (energy is folded
+                # out of the columns lazily; no per-event arithmetic).
+                buf.append((cid, last, now, power))
+                if len(buf) >= self._stage_limit:
+                    self._stage_fold()
+            else:
+                self._core_energy[cid] += power * (now - last)
+        elif now < last:  # pragma: no cover - defensive
+            raise ValueError(f"time went backwards for core {cid}")
+        last_list[cid] = now
+
+    def _on_change_object(self, core: Core, now: float) -> None:
+        """Original object-based path, preserved as differential oracle."""
         last = self._last_time[core.core_id]
         if now < last:  # pragma: no cover - defensive
             raise ValueError(f"time went backwards for core {core.core_id}")
@@ -93,7 +183,7 @@ class EnergyAccountant:
             power = self.model.core_power(core)
             self._core_energy[core.core_id] += power * (now - last)
             if self.keep_segments:
-                self.segments.append(
+                self._segment_list.append(
                     PowerSegment(core.core_id, last, now, power)
                 )
         self._last_time[core.core_id] = now
@@ -101,20 +191,47 @@ class EnergyAccountant:
     # -- finalisation & queries ---------------------------------------------
     def finalize(self, now: float) -> None:
         """Close all open segments at ``now`` (end of the run)."""
+        on_change = self._on_change
         for core in self.cluster.cores:
-            self._on_change(core, now)
+            on_change(core, now)
         self._finalized_at = now
 
     @property
     def finalized_at(self) -> Optional[float]:
         return self._finalized_at
 
+    def _sync_core_energy(self) -> None:
+        """Fold the segment columns into the per-core energy dict.
+
+        Always recomputed from row 0: ``np.bincount`` accumulates
+        ``power·width`` into each core's slot in row (= time) order, the
+        exact addition sequence the object oracle performs eagerly — an
+        *incremental* fold from a watermark would regroup the additions
+        ``(a+b)+(c+d)`` vs ``((a+b)+c)+d`` and break byte-identity.
+        """
+        store = self._store
+        if store is None:
+            return
+        n = len(store)
+        if n == self._energy_rows:
+            return
+        core_id, start, end, power = store.columns()
+        energy = np.bincount(
+            core_id, weights=power * (end - start),
+            minlength=max(self._core_energy, default=-1) + 1,
+        )
+        for cid in self._core_energy:
+            self._core_energy[cid] = float(energy[cid])
+        self._energy_rows = n
+
     def core_energy_j(self, core_id: int) -> float:
         """Energy consumed by one core so far (J)."""
+        self._sync_core_energy()
         return self._core_energy[core_id]
 
     def cores_energy_j(self) -> float:
         """Energy of all cores (J), excluding node base overhead."""
+        self._sync_core_energy()
         return sum(self._core_energy.values())
 
     def node_base_energy_j(self, now: Optional[float] = None) -> float:

@@ -5,16 +5,29 @@ The physical meter reports one reading every 0.5 s; each reading is
 that by distributing the energy of every recorded
 :class:`~repro.power.accounting.PowerSegment` into fixed-width buckets and
 dividing by the bucket width, then adding the constant node overhead.
+
+:meth:`PowerMeter.from_segments` is vectorized (DESIGN.md §13): segment
+intervals are clipped against the bucket grid and the overlap-weighted
+energy lands via one unbuffered ``np.add.at`` in segment-major,
+bucket-minor order — the exact accumulation order of the original
+segments×buckets Python loop, which is preserved as
+:meth:`from_segments_reference` (the differential oracle).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .accounting import EnergyAccountant, PowerSegment
+from .accounting import EnergyAccountant
+from .timeline import PowerSegment, SegmentStore, SegmentView
+
+#: Relative width below which a trailing fp-sliver bucket is merged into
+#: its predecessor instead of minted as a near-zero-width bucket (whose
+#: ``energy/width`` would spike toward inf).
+_SLIVER_REL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -64,6 +77,13 @@ class PowerMeter:
         Requires the accountant to have been finalized (so all segments are
         closed) unless an explicit ``end`` within the recorded span is given.
         """
+        if not accountant.keep_segments:
+            raise ValueError(
+                "accountant was created with keep_segments=False, so no "
+                "power timeline was recorded and a sampled trace would "
+                "show only node base power; re-run with keep_segments=True "
+                "to sample a power trace"
+            )
         if start is None:
             start = accountant.start_time
         if end is None:
@@ -79,25 +99,131 @@ class PowerMeter:
             base_w=accountant.model.params.node_base_w * accountant.cluster.n_nodes,
         )
 
+    # -- bucket grid -------------------------------------------------------
+    def _grid(self, start: float, end: float
+              ) -> Tuple[int, np.ndarray, np.ndarray]:
+        """``(n_buckets, widths, times)`` for the span ``[start, end)``.
+
+        When ``(end - start)`` is a near-exact multiple of the interval,
+        floating-point ``ceil`` can mint a trailing bucket whose width is
+        ~0 (or even negative); such a sliver is merged into the previous
+        bucket instead of letting ``energy/width`` blow up.
+        """
+        interval = self.interval_s
+        n_buckets = int(np.ceil((end - start) / interval))
+        if n_buckets <= 0:
+            return 0, np.empty(0), np.empty(0)
+        last_width = end - (start + (n_buckets - 1) * interval)
+        if n_buckets > 1 and last_width <= interval * _SLIVER_REL:
+            n_buckets -= 1
+            last_width = end - (start + (n_buckets - 1) * interval)
+        widths = np.full(n_buckets, interval)
+        widths[-1] = last_width
+        times = start + interval * (np.arange(n_buckets) + 1)
+        times[-1] = end
+        return n_buckets, widths, times
+
+    # -- vectorized fold ---------------------------------------------------
     def from_segments(
+        self,
+        segments: "Sequence[PowerSegment] | SegmentStore | SegmentView",
+        start: float,
+        end: float,
+        base_w: float = 0.0,
+    ) -> PowerTrace:
+        """Bucket segment energy into meter intervals; add ``base_w``.
+
+        Whole-array implementation; byte-identical to
+        :meth:`from_segments_reference`.
+        """
+        if isinstance(segments, (SegmentStore, SegmentView)):
+            _, seg_start, seg_end, seg_power = segments.columns()
+        else:
+            count = len(segments)
+            seg_start = np.fromiter(
+                (seg.start for seg in segments), dtype=np.float64, count=count)
+            seg_end = np.fromiter(
+                (seg.end for seg in segments), dtype=np.float64, count=count)
+            seg_power = np.fromiter(
+                (seg.power_w for seg in segments), dtype=np.float64, count=count)
+        return self._from_columns(seg_start, seg_end, seg_power,
+                                  start, end, base_w)
+
+    def _from_columns(
+        self,
+        seg_start: np.ndarray,
+        seg_end: np.ndarray,
+        seg_power: np.ndarray,
+        start: float,
+        end: float,
+        base_w: float,
+    ) -> PowerTrace:
+        n_buckets, widths, times = self._grid(start, end)
+        if n_buckets == 0:
+            return PowerTrace(np.empty(0), np.empty(0))
+        interval = self.interval_s
+        energy = np.zeros(n_buckets)
+        if len(seg_start):
+            lo = np.maximum(seg_start, start)
+            hi = np.minimum(seg_end, end)
+            valid = hi > lo
+            if valid.any():
+                lo = lo[valid]
+                hi = hi[valid]
+                power = seg_power[valid]
+                first = ((lo - start) / interval).astype(np.int64)
+                np.minimum(first, n_buckets - 1, out=first)
+                last = np.minimum(
+                    np.ceil((hi - start) / interval).astype(np.int64),
+                    n_buckets,
+                )
+                counts = np.maximum(last - first, 0)
+                total = int(counts.sum())
+                if total:
+                    # Expand every segment into its (segment, bucket) pairs,
+                    # segment-major / bucket-minor — the reference loop's
+                    # accumulation order, which np.add.at replays exactly
+                    # (unbuffered, in index order).
+                    reps = np.repeat(np.arange(len(lo)), counts)
+                    offsets = (np.arange(total)
+                               - np.repeat(np.cumsum(counts) - counts, counts))
+                    buckets = first[reps] + offsets
+                    b_lo = start + buckets * interval
+                    b_hi = b_lo + widths[buckets]
+                    overlap = (np.minimum(hi[reps], b_hi)
+                               - np.maximum(lo[reps], b_lo))
+                    positive = overlap > 0
+                    # bincount's C loop adds pair i into its bucket in
+                    # index order — the same unbuffered sequence np.add.at
+                    # performs, at a fraction of the cost.
+                    energy += np.bincount(
+                        buckets[positive],
+                        weights=(power[reps] * overlap)[positive],
+                        minlength=n_buckets,
+                    )
+        power_w = energy / widths + base_w
+        return PowerTrace(times_s=times, power_w=power_w)
+
+    # -- scalar reference (differential oracle) ----------------------------
+    def from_segments_reference(
         self,
         segments: Sequence[PowerSegment],
         start: float,
         end: float,
         base_w: float = 0.0,
     ) -> PowerTrace:
-        """Bucket segment energy into meter intervals; add ``base_w``."""
-        n_buckets = int(np.ceil((end - start) / self.interval_s))
+        """Original per-segment Python loop, kept as the differential
+        oracle for :meth:`from_segments` (same grid, same fold order)."""
+        n_buckets, widths, times = self._grid(start, end)
+        if n_buckets == 0:
+            return PowerTrace(np.empty(0), np.empty(0))
         energy = np.zeros(n_buckets)
-        widths = np.full(n_buckets, self.interval_s)
-        # Last bucket may be partial.
-        widths[-1] = end - (start + (n_buckets - 1) * self.interval_s)
         for seg in segments:
             lo = max(seg.start, start)
             hi = min(seg.end, end)
             if hi <= lo:
                 continue
-            first = int((lo - start) / self.interval_s)
+            first = min(int((lo - start) / self.interval_s), n_buckets - 1)
             last = min(int(np.ceil((hi - start) / self.interval_s)), n_buckets)
             for b in range(first, last):
                 b_lo = start + b * self.interval_s
@@ -105,7 +231,5 @@ class PowerMeter:
                 overlap = min(hi, b_hi) - max(lo, b_lo)
                 if overlap > 0:
                     energy[b] += seg.power_w * overlap
-        times = start + self.interval_s * (np.arange(n_buckets) + 1)
-        times[-1] = end
         power = energy / widths + base_w
         return PowerTrace(times_s=times, power_w=power)

@@ -42,7 +42,10 @@ __all__ = [
 ]
 
 #: Bump when cell result semantics change without a spec change.
-CACHE_SCHEMA = 1
+#: 2: exact-deadline ``call_at`` (re-armed fabric/governor timers no
+#: longer drift an ulp) and coalesced θ-countdown timer groups can shift
+#: governed timelines at same-timestamp ties.
+CACHE_SCHEMA = 2
 
 
 def default_cache_dir() -> Path:

@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..cluster.specs import ThrottleGranularity
 from ..collectives.power_control import T_FULL, T_LOW
+from ..sim.engine import CoalescedTimers
 from .slack import SlackMonitor
 from .telemetry import GovernorReport
 
@@ -254,6 +255,11 @@ class Governor:
         self.env = session.env
         self.net = session.net
         self.power_model = session.power_model
+        # θ-countdowns arm through a coalescing bank: a wave of ranks
+        # entering waits at one timestamp shares heap entries per deadline
+        # (one Environment.defer flush — the fabric kernel's re-rate
+        # batching primitive) instead of pushing one Timer per rank.
+        self._timers = CoalescedTimers(self.env)
         cluster = session.cluster
         self._granularity = cluster.spec.node.cpu.throttle_granularity
         for node in cluster.nodes:
@@ -340,7 +346,8 @@ class Governor:
         else:
             return
         self.timers_armed += 1
-        st.timer = self.env.call_after(theta, lambda t, ctx=ctx: self._theta_fired(ctx))
+        st.timer = self._timers.call_after(
+            theta, lambda t, ctx=ctx: self._theta_fired(ctx))
 
     def wait_end(self, ctx) -> float:
         """The wait completed; returns the restore penalty in seconds.

@@ -145,6 +145,12 @@ class Environment:
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
+    def schedule_at(self, event: Event, time: float, priority: int = NORMAL) -> None:
+        """Enqueue ``event`` at the exact absolute ``time`` (no
+        ``now + delay`` round trip, which can shift the deadline an ulp)."""
+        self._eid += 1
+        heapq.heappush(self._queue, (time, priority, self._eid, event))
+
     def call_after(self, delay: float, callback: Callable[[Timer], None]) -> Timer:
         """Schedule ``callback`` to run ``delay`` from now; returns a
         cancellable :class:`~repro.sim.events.Timer` handle."""
@@ -152,10 +158,12 @@ class Environment:
 
     def call_at(self, time: float, callback: Callable[[Timer], None]) -> Timer:
         """Schedule ``callback`` at absolute ``time`` (must not be in the
-        past); returns a cancellable handle."""
+        past); returns a cancellable handle.  The timer fires at exactly
+        ``time``: a deadline computed once and re-armed from a later
+        wake-up hits the same float either way."""
         if time < self._now:
             raise ValueError(f"call_at({time}) lies in the past (now={self._now})")
-        return Timer(self, time - self._now, callback)
+        return Timer(self, time - self._now, callback, at=time)
 
     def defer(self, callback: Callable[[Timer], None]) -> Timer:
         """Run ``callback`` after the events already queued at the current
@@ -245,3 +253,121 @@ class Environment:
 
 def _stop_simulation(event: Event) -> None:
     raise StopSimulation(event._value)
+
+
+class _CoalescedSlot:
+    """Cancellable handle for one callback armed via :class:`CoalescedTimers`.
+
+    Mirrors the :class:`~repro.sim.events.Timer` handle contract —
+    ``cancel()`` is idempotent and safe after firing — but cancelling a
+    slot never touches the heap unless it was the group's last live
+    member.
+    """
+
+    __slots__ = ("_callback", "_group", "_cancelled", "_fired")
+
+    def __init__(self, callback: Callable[["_CoalescedSlot"], None]):
+        self._callback = callback
+        self._group: Optional[_TimerGroup] = None
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def cancel(self) -> None:
+        if self._cancelled or self._fired:
+            return
+        self._cancelled = True
+        group = self._group
+        if group is not None:
+            group.live -= 1
+            if group.live == 0 and group.timer is not None:
+                group.timer.cancel()
+
+
+class _TimerGroup:
+    """All slots sharing one (arm timestamp, deadline): one heap Timer."""
+
+    __slots__ = ("slots", "live", "timer")
+
+    def __init__(self, slots: List[_CoalescedSlot]):
+        self.slots = slots
+        self.live = len(slots)
+        self.timer: Optional[Timer] = None
+
+    def _fire(self, _timer: Timer) -> None:
+        for slot in self.slots:
+            if not slot._cancelled:
+                slot._fired = True
+                slot._callback(slot)
+
+
+class CoalescedTimers:
+    """Batch same-deadline timer arms into one heap transaction.
+
+    A wave of same-timestamp FSM transitions (the governor arming a
+    θ-countdown per rank entering a wait) used to push one heap entry per
+    rank.  Arms instead land in a pending map keyed by deadline; a single
+    :meth:`Environment.defer` flush — the same batching primitive the
+    vector fabric kernel uses for re-rates — converts each deadline's
+    surviving slots into *one* :class:`Timer`, fired in arm order.
+
+    Cancelling a slot before the flush costs nothing; after the flush it
+    decrements the group's live count and only cancels the underlying
+    heap timer when the whole group is dead, so the common
+    arm-then-cancel governor churn stays O(1) per slot.
+    """
+
+    __slots__ = ("env", "_pending", "_flush_armed", "slots_armed",
+                 "heap_timers")
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._pending: dict = {}
+        self._flush_armed = False
+        #: Telemetry: slots armed / underlying heap timers created.
+        self.slots_armed = 0
+        self.heap_timers = 0
+
+    def call_after(self, delay: float,
+                   callback: Callable[[_CoalescedSlot], None]) -> _CoalescedSlot:
+        """Arm ``callback`` ``delay`` from now; returns a cancellable slot."""
+        return self.call_at(self.env.now + delay, callback)
+
+    def call_at(self, time: float,
+                callback: Callable[[_CoalescedSlot], None]) -> _CoalescedSlot:
+        if time < self.env.now:
+            raise ValueError(
+                f"call_at({time}) lies in the past (now={self.env.now})")
+        slot = _CoalescedSlot(callback)
+        bucket = self._pending.get(time)
+        if bucket is None:
+            self._pending[time] = [slot]
+        else:
+            bucket.append(slot)
+        if not self._flush_armed:
+            self._flush_armed = True
+            self.env.defer(self._flush)
+        self.slots_armed += 1
+        return slot
+
+    def _flush(self, _timer: Timer) -> None:
+        """Convert this timestamp's pending arms into one Timer each."""
+        self._flush_armed = False
+        pending = self._pending
+        self._pending = {}
+        for deadline, slots in pending.items():
+            live = [slot for slot in slots if not slot._cancelled]
+            if not live:
+                continue
+            group = _TimerGroup(live)
+            for slot in live:
+                slot._group = group
+            group.timer = self.env.call_at(deadline, group._fire)
+            self.heap_timers += 1

@@ -172,17 +172,22 @@ class Timer(Event):
         env: "Environment",
         delay: float,
         callback: Callable[["Timer"], None],
+        at: Optional[float] = None,
     ):
+        """With ``at`` given, the timer fires at exactly that absolute
+        time — ``env.now + (at - env.now)`` can differ from ``at`` by an
+        ulp, and a fabric deadline re-armed from a later wake-up must hit
+        the *same* float the prediction computed."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         super().__init__(env)
         #: Absolute firing time (for introspection and staleness checks).
-        self.at = env.now + delay
+        self.at = env.now + delay if at is None else at
         self._callback: Optional[Callable[["Timer"], None]] = callback
         self._cancelled = False
         self._ok = True
         self._state = _TRIGGERED
-        env.schedule(self, priority=NORMAL, delay=delay)
+        env.schedule_at(self, self.at, priority=NORMAL)
 
     @property
     def cancelled(self) -> bool:

@@ -96,6 +96,7 @@ class SimSession:
         power_params: Optional["PowerModelParams"] = None,
         tracer: Optional[Tracer] = None,
         keep_segments: bool = True,
+        columnar: bool = True,
         validate: bool = True,
         governor: Optional["Governor"] = None,
         faults: Optional["FaultPlan"] = None,
@@ -140,7 +141,8 @@ class SimSession:
         self.net: "IBNetwork" = IBNetwork(self.env, self.cluster, self.network_spec)
         self.power_model: "PowerModel" = PowerModel(power_params)
         self.accountant: "EnergyAccountant" = EnergyAccountant(
-            self.cluster, self.power_model, keep_segments=keep_segments
+            self.cluster, self.power_model,
+            keep_segments=keep_segments, columnar=columnar,
         )
         fault_scope = None
         if faults is None:
@@ -180,7 +182,10 @@ class SimSession:
         * ``governor`` — ``GovernorConfig.to_dict()`` form; a fresh
           :class:`~repro.runtime.governor.Governor` is built from it.
         * ``faults`` — ``FaultPlan.to_dict()`` form.
-        * ``keep_segments`` / ``validate`` — booleans, as in ``__init__``.
+        * ``keep_segments`` / ``columnar`` / ``validate`` — booleans, as
+          in ``__init__``.  ``columnar`` selects the energy-accounting
+          backend only (byte-identical results), so like
+          ``NetworkSpec.vectorized`` it never enters cell cache keys.
         """
         from ..cluster.specs import ClusterSpec
         from ..network.params import NetworkSpec
@@ -211,6 +216,7 @@ class SimSession:
             ),
             tracer=tracer,
             keep_segments=spec.get("keep_segments", True),
+            columnar=spec.get("columnar", True),
             validate=spec.get("validate", True),
             governor=governor,
             faults=faults,

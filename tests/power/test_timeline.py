@@ -1,0 +1,282 @@
+"""Columnar power timeline: SegmentStore/SegmentView units, the
+columnar-vs-object differential (DESIGN.md §13), and meter regressions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Activity, Cluster, ClusterSpec
+from repro.power import (
+    EnergyAccountant,
+    PowerMeter,
+    PowerModel,
+    PowerSegment,
+    SegmentStore,
+    SegmentView,
+)
+
+
+# ---------------------------------------------------------------------------
+# SegmentStore / SegmentView units
+# ---------------------------------------------------------------------------
+def test_store_append_len_and_getitem():
+    store = SegmentStore()
+    assert len(store) == 0
+    store.append(3, 0.0, 1.0, 10.0)
+    store.append(4, 1.0, 2.5, 20.0)
+    # Rows still staged in the python buffer must already be observable.
+    assert len(store) == 2
+    assert store[0] == PowerSegment(3, 0.0, 1.0, 10.0)
+    assert store[1] == PowerSegment(4, 1.0, 2.5, 20.0)
+    assert store[-1] == store[1]
+    with pytest.raises(IndexError):
+        store[2]
+
+
+def test_store_folds_and_grows_past_initial_capacity():
+    store = SegmentStore()
+    n = SegmentStore.INITIAL_CAPACITY * 2 + SegmentStore.FLUSH_BATCH // 2 + 7
+    for i in range(n):
+        store.append(i % 8, float(i), float(i + 1), float(i % 5 + 1))
+    assert len(store) == n
+    assert store.capacity >= n - SegmentStore.FLUSH_BATCH  # staged tail
+    core_id, start, end, power = store.columns()
+    assert core_id.dtype == np.int64
+    assert start.dtype == end.dtype == power.dtype == np.float64
+    assert len(core_id) == n
+    assert core_id[12345 % n] == (12345 % n) % 8
+    assert start[n - 1] == float(n - 1)
+    # columns() folded the staging buffer; reads stay consistent.
+    assert store[n - 1] == PowerSegment(
+        (n - 1) % 8, float(n - 1), float(n), float((n - 1) % 5 + 1)
+    )
+
+
+def test_store_iteration_yields_segments_in_order():
+    store = SegmentStore()
+    rows = [(i, i * 1.0, i * 1.0 + 0.5, 7.0 + i) for i in range(5)]
+    for row in rows:
+        store.append(*row)
+    segs = list(store)
+    assert segs == [PowerSegment(*row) for row in rows]
+    assert segs[2].energy_j == pytest.approx(9.0 * 0.5)
+
+
+def test_view_equality_slicing_and_repr():
+    store = SegmentStore()
+    rows = [(0, 0.0, 1.0, 5.0), (1, 1.0, 2.0, 6.0), (0, 2.0, 4.0, 7.0)]
+    for row in rows:
+        store.append(*row)
+    view = SegmentView(store)
+    as_list = [PowerSegment(*row) for row in rows]
+    assert view == as_list
+    assert list(view[1:]) == as_list[1:]
+    assert view[-1] == as_list[-1]
+    assert len(view) == 3
+    assert view != as_list[:2]
+    assert "SegmentView" in repr(view)
+
+
+# ---------------------------------------------------------------------------
+# Differential: columnar accountant vs the object oracle
+# ---------------------------------------------------------------------------
+_KINDS = ("freq", "tstate", "act")
+_ACTIVITIES = list(Activity)
+
+
+def _mutation_schedules():
+    step = st.tuples(
+        st.floats(min_value=0.0, max_value=1.5, allow_nan=False,
+                  allow_infinity=False),
+        st.integers(min_value=0, max_value=7),   # core index
+        st.sampled_from(_KINDS),
+        st.integers(min_value=0, max_value=7),   # value selector
+    )
+    return st.lists(step, max_size=64)
+
+
+def _dual_accountants():
+    """One cluster observed by both backends at once: every mutation
+    notifies the columnar accountant and the object oracle back to back."""
+    cluster = Cluster(ClusterSpec.with_shape(1))  # 8 cores
+    columnar = EnergyAccountant(cluster, PowerModel(cached=True),
+                                columnar=True)
+    oracle = EnergyAccountant(cluster, PowerModel(cached=False),
+                              columnar=False)
+    return cluster, columnar, oracle
+
+
+def _apply_schedule(cluster, schedule):
+    freqs = sorted({
+        cluster.cores[0].spec.nearest_pstate(f)
+        for f in np.linspace(1.0, 3.2, 9)
+    })
+    t = 0.0
+    for dt, core_idx, kind, value in schedule:
+        t += dt
+        core = cluster.cores[core_idx % len(cluster.cores)]
+        if kind == "freq":
+            core.set_frequency(freqs[value % len(freqs)], t)
+        elif kind == "tstate":
+            core.set_tstate(value, t)
+        else:
+            core.set_activity(_ACTIVITIES[value % len(_ACTIVITIES)], t)
+    return t
+
+
+@given(_mutation_schedules())
+@settings(max_examples=60, deadline=None)
+def test_columnar_matches_object_oracle(schedule):
+    cluster, columnar, oracle = _dual_accountants()
+    end = _apply_schedule(cluster, schedule) + 0.5
+    columnar.finalize(end)
+    oracle.finalize(end)
+
+    for core in cluster.cores:
+        assert columnar.core_energy_j(core.core_id) == \
+            oracle.core_energy_j(core.core_id)
+    assert columnar.cores_energy_j() == oracle.cores_energy_j()
+    assert columnar.total_energy_j() == oracle.total_energy_j()
+    assert isinstance(columnar.segments, SegmentView)
+    assert columnar.segments == list(oracle.segments)
+
+
+@given(_mutation_schedules())
+@settings(max_examples=40, deadline=None)
+def test_vectorized_meter_matches_reference_on_live_segments(schedule):
+    cluster, columnar, oracle = _dual_accountants()
+    end = _apply_schedule(cluster, schedule) + 0.5
+    columnar.finalize(end)
+    oracle.finalize(end)
+
+    meter = PowerMeter(0.3)
+    base_w = columnar.model.params.node_base_w * cluster.n_nodes
+    vec = meter.from_segments(columnar.segments, 0.0, end, base_w=base_w)
+    ref = meter.from_segments_reference(oracle.segments, 0.0, end,
+                                        base_w=base_w)
+    assert np.array_equal(vec.times_s, ref.times_s)
+    assert np.array_equal(vec.power_w, ref.power_w)
+
+
+@given(_mutation_schedules())
+@settings(max_examples=40, deadline=None)
+def test_meter_conserves_energy(schedule):
+    """Summing bucket energy over the whole window recovers the
+    accountant's core energy (the meter neither drops nor double-counts)."""
+    cluster, columnar, _oracle = _dual_accountants()
+    end = _apply_schedule(cluster, schedule) + 0.5
+    columnar.finalize(end)
+
+    meter = PowerMeter(0.3)
+    trace = meter.from_segments(columnar.segments, 0.0, end, base_w=0.0)
+    edges = np.concatenate(([0.0], trace.times_s))
+    bucket_energy = float(np.sum(trace.power_w * np.diff(edges)))
+    assert math.isclose(bucket_energy, columnar.cores_energy_j(),
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+def test_mid_run_energy_queries_stay_exact():
+    """Lazy column folding must not regroup additions: querying energy
+    mid-run and again later still matches the eagerly-summing oracle."""
+    cluster, columnar, oracle = _dual_accountants()
+    core = cluster.cores[0]
+    core.set_activity(Activity.COMPUTE, 1.0)
+    core.set_tstate(3, 2.5)
+    assert columnar.core_energy_j(0) == oracle.core_energy_j(0)
+    core.set_frequency(1.6, 4.0)
+    core.set_activity(Activity.IDLE, 5.0)
+    columnar.finalize(6.0)
+    oracle.finalize(6.0)
+    assert columnar.core_energy_j(0) == oracle.core_energy_j(0)
+    assert columnar.cores_energy_j() == oracle.cores_energy_j()
+
+
+# ---------------------------------------------------------------------------
+# Meter regressions
+# ---------------------------------------------------------------------------
+def test_degenerate_fp_sliver_final_bucket_is_merged():
+    """(end-start)/interval can land a hair above an integer, leaving a
+    ~1e-17 s final bucket whose energy/width division exploded to an
+    inf/garbage spike; such slivers merge into the previous bucket."""
+    end = 0.30000000000000004  # 3 * 0.1 in binary fp
+    meter = PowerMeter(0.1)
+    segs = [PowerSegment(0, 0.0, end, 100.0)]
+    trace = meter.from_segments(segs, 0.0, end)
+    assert len(trace) == 3
+    assert np.isfinite(trace.power_w).all()
+    assert trace.times_s[-1] == end
+    assert trace.power_w == pytest.approx([100.0, 100.0, 100.0])
+    ref = meter.from_segments_reference(segs, 0.0, end)
+    assert np.array_equal(trace.times_s, ref.times_s)
+    assert np.array_equal(trace.power_w, ref.power_w)
+
+
+def test_true_partial_final_bucket_still_reported():
+    meter = PowerMeter(0.1)
+    segs = [PowerSegment(0, 0.0, 0.25, 100.0)]
+    trace = meter.from_segments(segs, 0.0, 0.25)
+    assert len(trace) == 3
+    assert trace.times_s[-1] == 0.25
+    assert trace.power_w == pytest.approx([100.0, 100.0, 100.0])
+
+
+def test_governed_faulted_job_identical_across_backends():
+    """End to end: a countdown-governed, fault-perturbed job produces the
+    same makespan, energy, segment log and sampled trace on both
+    accounting backends."""
+    from repro.faults.plan import parse_fault_spec
+    from repro.mpi.job import MpiJob
+    from repro.runtime.governor import (
+        Governor,
+        GovernorConfig,
+        GovernorPolicy,
+    )
+
+    def run(columnar):
+        job = MpiJob(
+            32,
+            cluster_spec=ClusterSpec.with_shape(4),
+            governor=Governor(
+                GovernorConfig(policy=GovernorPolicy.COUNTDOWN)
+            ),
+            faults=parse_fault_spec(
+                "degrade:factor=0.6,frac=0.25;"
+                "noise:period=500us,pulse=20us,frac=0.25",
+                seed=3,
+            ),
+            columnar=columnar,
+        )
+
+        def program(ctx):
+            yield from ctx.alltoall(8 << 10)
+
+        return job.run(program)
+
+    col = run(columnar=True)
+    obj = run(columnar=False)
+    assert col.duration_s == obj.duration_s
+    assert col.energy_j == obj.energy_j
+    assert isinstance(col.accountant.segments, SegmentView)
+    assert col.accountant.segments == list(obj.accountant.segments)
+    meter = PowerMeter(1e-3)
+    base_w = (col.accountant.model.params.node_base_w
+              * col.accountant.cluster.n_nodes)
+    vec = meter.sample(col.accountant)
+    ref = meter.from_segments_reference(
+        obj.accountant.segments, 0.0, obj.accountant.finalized_at,
+        base_w=base_w,
+    )
+    assert np.array_equal(vec.times_s, ref.times_s)
+    assert np.array_equal(vec.power_w, ref.power_w)
+
+
+@pytest.mark.parametrize("columnar", [True, False])
+def test_sample_without_segments_raises_clear_error(columnar):
+    cluster = Cluster(ClusterSpec.with_shape(1))
+    acct = EnergyAccountant(cluster, keep_segments=False, columnar=columnar)
+    acct.finalize(2.0)
+    with pytest.raises(ValueError, match="keep_segments"):
+        PowerMeter(0.5).sample(acct)

@@ -1,0 +1,120 @@
+"""CoalescedTimers: same-deadline arms share one heap entry (DESIGN.md §13)."""
+
+import pytest
+
+from repro.sim.engine import CoalescedTimers, Environment
+
+Infinity = float("inf")
+
+
+def test_same_deadline_wave_uses_one_heap_timer():
+    env = Environment()
+    timers = CoalescedTimers(env)
+    fired = []
+    for i in range(5):
+        timers.call_at(2.0, lambda _slot, i=i: fired.append((i, env.now)))
+    env.run()
+    assert fired == [(i, 2.0) for i in range(5)]  # arm order preserved
+    assert timers.slots_armed == 5
+    assert timers.heap_timers == 1
+
+
+def test_distinct_deadlines_get_distinct_timers():
+    env = Environment()
+    timers = CoalescedTimers(env)
+    fired = []
+    timers.call_at(1.0, lambda _slot: fired.append(env.now))
+    timers.call_at(3.0, lambda _slot: fired.append(env.now))
+    timers.call_at(1.0, lambda _slot: fired.append(env.now))
+    env.run()
+    assert fired == [1.0, 1.0, 3.0]
+    assert timers.heap_timers == 2
+
+
+def test_call_after_is_relative_to_arm_time():
+    env = Environment()
+    timers = CoalescedTimers(env)
+    fired = []
+    env.call_at(3.0, lambda _t: timers.call_after(
+        1.5, lambda _slot: fired.append(env.now)))
+    env.run()
+    assert fired == [4.5]
+
+
+def test_cancel_before_flush_creates_no_heap_timer():
+    env = Environment()
+    timers = CoalescedTimers(env)
+    fired = []
+    slots = [timers.call_at(5.0, lambda _slot: fired.append(env.now))
+             for _ in range(3)]
+    for slot in slots:
+        slot.cancel()
+    env.run()
+    assert fired == []
+    assert timers.slots_armed == 3
+    assert timers.heap_timers == 0  # the whole wave died pre-flush
+
+
+def test_cancel_after_flush_releases_heap_entry():
+    env = Environment()
+    timers = CoalescedTimers(env)
+    fired = []
+    slot = timers.call_at(5.0, lambda _slot: fired.append(env.now))
+    env.run(until=1.0)  # flush happened at t=0; the group timer is live
+    assert timers.heap_timers == 1
+    slot.cancel()
+    # The group's last live slot cancelled its timer: a bounded run has
+    # nothing left to wake up for.
+    assert env.peek() == Infinity
+    env.run()
+    assert fired == []
+    assert slot.cancelled
+    assert not slot.fired
+
+
+def test_partial_cancel_keeps_group_firing():
+    env = Environment()
+    timers = CoalescedTimers(env)
+    fired = []
+    keep = timers.call_at(5.0, lambda _slot: fired.append("keep"))
+    drop = timers.call_at(5.0, lambda _slot: fired.append("drop"))
+    env.run(until=1.0)
+    drop.cancel()
+    env.run()
+    assert fired == ["keep"]
+    assert keep.fired
+    assert not drop.fired
+
+
+def test_cancel_is_idempotent_and_safe_after_fire():
+    env = Environment()
+    timers = CoalescedTimers(env)
+    fired = []
+    slot = timers.call_at(1.0, lambda _slot: fired.append(env.now))
+    env.run()
+    assert slot.fired
+    slot.cancel()  # no-op after firing
+    slot.cancel()
+    assert not slot.cancelled
+    assert fired == [1.0]
+
+
+def test_call_at_in_past_rejected():
+    env = Environment(initial_time=10.0)
+    timers = CoalescedTimers(env)
+    with pytest.raises(ValueError, match="past"):
+        timers.call_at(9.0, lambda _slot: None)
+
+
+def test_mid_run_wave_coalesces_across_callers():
+    """Arms from different events at one sim timestamp join one group."""
+    env = Environment()
+    timers = CoalescedTimers(env)
+    fired = []
+    for i in range(4):
+        env.call_at(1.0, lambda _t, i=i: timers.call_after(
+            2.0, lambda _slot, i=i: fired.append(i)))
+    env.run()
+    assert fired == [0, 1, 2, 3]
+    assert timers.slots_armed == 4
+    assert timers.heap_timers == 1
