@@ -25,6 +25,11 @@ Three independent gates:
   governed/faulted mutation stream at least ``--min-power-speedup``
   faster than the object-segment oracle with byte-identical energies
   and traces.
+* **Power-budget arbiter** (``--arbiter-json``) — reads the
+  ``BENCH_arbiter.json`` report emitted by ``bench_ext_arbiter.py`` and
+  fails unless the redistribute policy beat the uniform split on
+  makespan at the same global cap, per-job energy attribution summed
+  exactly to the accountant total, and the re-run was byte-identical.
 """
 
 import argparse
@@ -74,6 +79,23 @@ def check_power_json(path: str, min_speedup: float) -> bool:
     return ok
 
 
+def check_arbiter_json(path: str) -> bool:
+    """Gate the power-budget arbiter report; returns True when it passes."""
+    with open(path) as fh:
+        report = json.load(fh)
+    speedup = report["makespan_speedup"]
+    exact = report["attribution_exact"]
+    identical = report["identical"]
+    ok = exact and identical and speedup > 1.0
+    verdict = "OK" if ok else "FAIL"
+    print(
+        f"arbiter: redistribute vs uniform makespan {speedup:.2f}x "
+        f"(floor >1.00x) on {report['scenario']['n_nodes']} nodes, "
+        f"attribution_exact={exact}, identical={identical} -> {verdict}"
+    )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -88,6 +110,8 @@ def main(argv=None) -> int:
                         help="BENCH_power.json report to gate (optional)")
     parser.add_argument("--min-power-speedup", type=float, default=5.0,
                         help="columnar power-path speedup floor (default 5.0)")
+    parser.add_argument("--arbiter-json", default=None,
+                        help="BENCH_arbiter.json report to gate (optional)")
     args = parser.parse_args(argv)
 
     baseline = read_speedup(args.baseline)
@@ -103,6 +127,8 @@ def main(argv=None) -> int:
         ok = check_kernel_json(args.kernel_json, args.min_speedup) and ok
     if args.power_json is not None:
         ok = check_power_json(args.power_json, args.min_power_speedup) and ok
+    if args.arbiter_json is not None:
+        ok = check_arbiter_json(args.arbiter_json) and ok
     return 0 if ok else 1
 
 

@@ -46,10 +46,15 @@ from .mpi import JobResult, MpiJob, ProgressMode, RankContext, run_collective_on
 from .network import NetworkSpec
 from .power import EnergyAccountant, PowerMeter, PowerModel, PowerModelParams
 from .runtime import (
+    ArbiterConfig,
+    ArbiterPolicy,
+    ArbiterReport,
     Governor,
     GovernorConfig,
     GovernorPolicy,
     GovernorReport,
+    PowerArbiter,
+    use_arbiter,
     use_governor,
 )
 from .sim import (
@@ -66,6 +71,9 @@ __version__ = "0.1.0"
 
 __all__ = [
     "AffinityPolicy",
+    "ArbiterConfig",
+    "ArbiterPolicy",
+    "ArbiterReport",
     "Cluster",
     "ClusterSpec",
     "CollectiveConfig",
@@ -89,6 +97,7 @@ __all__ = [
     "OsNoise",
     "PowerMeter",
     "PowerMode",
+    "PowerArbiter",
     "PowerModel",
     "PowerModelParams",
     "ProgressMode",
@@ -102,6 +111,7 @@ __all__ = [
     "TransitionJitter",
     "parse_fault_spec",
     "run_collective_once",
+    "use_arbiter",
     "use_faults",
     "use_governor",
     "use_tracer",

@@ -130,17 +130,21 @@ class RunnerScope:
     stats: Any = None
     governor: Optional[Dict[str, Any]] = None
     faults: Optional[Dict[str, Any]] = None
+    arbiter: Optional[Dict[str, Any]] = None
     #: True while a use_runner scope is live; report collection only
     #: happens then (library callers never accumulate unbounded lists).
     collect: bool = False
     governor_reports: List[Dict[str, Any]] = None  # type: ignore[assignment]
     fault_reports: List[Dict[str, Any]] = None  # type: ignore[assignment]
+    arbiter_reports: List[Dict[str, Any]] = None  # type: ignore[assignment]
 
     def __post_init__(self):
         if self.governor_reports is None:
             self.governor_reports = []
         if self.fault_reports is None:
             self.fault_reports = []
+        if self.arbiter_reports is None:
+            self.arbiter_reports = []
 
 
 _RUNNER_SCOPE = RunnerScope()
@@ -149,18 +153,21 @@ _RUNNER_SCOPE = RunnerScope()
 @contextlib.contextmanager
 def use_runner(jobs=None, cache=None, refresh: bool = False, stats=None,
                governor: Optional[Dict[str, Any]] = None,
-               faults: Optional[Dict[str, Any]] = None):
+               faults: Optional[Dict[str, Any]] = None,
+               arbiter: Optional[Dict[str, Any]] = None):
     """Route every experiment run inside the scope through the parallel
     executor / result cache with these settings.
 
     Yields the :class:`RunnerScope`; after the body ran, its
-    ``governor_reports``/``fault_reports`` hold the per-run report dicts
-    of every cell the ``governor``/``faults`` overlays touched.
+    ``governor_reports``/``fault_reports``/``arbiter_reports`` hold the
+    per-run report dicts of every cell the ``governor``/``faults``/
+    ``arbiter`` overlays touched.
     """
     global _RUNNER_SCOPE
     prev = _RUNNER_SCOPE
     scope = RunnerScope(jobs=jobs, cache=cache, refresh=refresh, stats=stats,
-                        governor=governor, faults=faults, collect=True)
+                        governor=governor, faults=faults, arbiter=arbiter,
+                        collect=True)
     _RUNNER_SCOPE = scope
     try:
         yield scope
@@ -172,22 +179,25 @@ def instrument_cells(
     cells: List[SweepCell],
     governor: Optional[Dict[str, Any]] = None,
     faults: Optional[Dict[str, Any]] = None,
-) -> Tuple[List[SweepCell], Tuple[int, ...], Tuple[int, ...]]:
-    """Overlay governor/fault configs onto cells that don't pin their own.
+    arbiter: Optional[Dict[str, Any]] = None,
+) -> Tuple[List[SweepCell], Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]:
+    """Overlay governor/fault/arbiter configs onto cells without their own.
 
-    A cell whose params already carry a ``governor``/``faults`` key keeps
-    it — plan-declared instrumentation (ext-governor's policy grid,
-    ext-faults' mild column) always wins over the CLI flags, matching
-    the old ambient-scope precedence where an explicit config bypassed
-    the scope.  Returns the (possibly rebuilt) cells plus the index
-    tuples of cells that received each overlay, so the caller can
-    harvest exactly those reports.
+    A cell whose params already carry a ``governor``/``faults``/
+    ``arbiter`` key keeps it — plan-declared instrumentation
+    (ext-governor's policy grid, ext-faults' mild column, ext-arbiter's
+    policy columns) always wins over the CLI flags, matching the old
+    ambient-scope precedence where an explicit config bypassed the
+    scope.  Returns the (possibly rebuilt) cells plus the index tuples
+    of cells that received each overlay, so the caller can harvest
+    exactly those reports.
     """
-    if governor is None and faults is None:
-        return cells, (), ()
+    if governor is None and faults is None and arbiter is None:
+        return cells, (), (), ()
     out: List[SweepCell] = []
     gov_idx: List[int] = []
     fault_idx: List[int] = []
+    arb_idx: List[int] = []
     for i, cell in enumerate(cells):
         params = dict(cell.params)
         touched = False
@@ -199,11 +209,15 @@ def instrument_cells(
             params["faults"] = faults
             fault_idx.append(i)
             touched = True
+        if arbiter is not None and "arbiter" not in params:
+            params["arbiter"] = arbiter
+            arb_idx.append(i)
+            touched = True
         if touched:
             cell = SweepCell(experiment=cell.experiment, kind=cell.kind,
                              params=params, label=cell.label)
         out.append(cell)
-    return out, tuple(gov_idx), tuple(fault_idx)
+    return out, tuple(gov_idx), tuple(fault_idx), tuple(arb_idx)
 
 
 def _run_plan(plan: SweepPlan):
@@ -215,8 +229,8 @@ def _run_plan(plan: SweepPlan):
     reconstructed inside the worker by ``execute_cell``.
     """
     scope = _RUNNER_SCOPE
-    cells, gov_idx, fault_idx = instrument_cells(
-        plan.cells, scope.governor, scope.faults
+    cells, gov_idx, fault_idx, arb_idx = instrument_cells(
+        plan.cells, scope.governor, scope.faults, scope.arbiter
     )
     results = run_cells(cells, jobs=scope.jobs, cache=scope.cache,
                         refresh=scope.refresh, stats=scope.stats)
@@ -228,6 +242,10 @@ def _run_plan(plan: SweepPlan):
         scope.fault_reports.extend(
             results[i].faults for i in fault_idx
             if results[i].faults is not None
+        )
+        scope.arbiter_reports.extend(
+            results[i].arbiter for i in arb_idx
+            if results[i].arbiter is not None
         )
     return plan.assemble(results)
 
@@ -1300,6 +1318,134 @@ def ablation_transition_overheads(
     return _run_plan(plan_ablation_overheads(nbytes, overheads_us))
 
 
+# ---------------------------------------------------------------------
+# Extension: cluster power-budget arbiter (repro.runtime.arbiter)
+# ---------------------------------------------------------------------
+#: Per-node cap (W) of the default capped scenario: between the node's
+#: fmin demand (~225 W all-polling) and its fmax demand (~287.5 W), so
+#: the uniform split clamps every node below fmax while redistribution
+#: can push critical nodes back up with donated headroom.
+ARBITER_CAP_PER_NODE_W = 250.0
+
+
+def _arbiter_params(policy: str, power_cap_w: float) -> Dict[str, Any]:
+    from ..runtime.arbiter import ArbiterConfig, ArbiterPolicy
+
+    return ArbiterConfig(
+        policy=ArbiterPolicy(policy), power_cap_w=power_cap_w
+    ).to_dict()
+
+
+def _multijob_cell(
+    experiment: str,
+    jobs: Sequence[Dict[str, Any]],
+    cluster_spec: ClusterSpec,
+    policy: Optional[str] = None,
+    power_cap_w: float = 0.0,
+    label: str = "",
+) -> SweepCell:
+    params: Dict[str, Any] = {
+        "jobs": [dict(j) for j in jobs],
+        "cluster": cluster_spec.to_dict(),
+        "progress": ProgressMode.POLLING.value,
+    }
+    if policy is not None:
+        params["arbiter"] = _arbiter_params(policy, power_cap_w)
+    return SweepCell(
+        experiment=experiment, kind="multijob", params=params,
+        label=label or f"multijob/{policy or 'no-cap'}",
+    )
+
+
+def plan_ext_arbiter(
+    n_nodes: int = 16,
+    cap_per_node_w: float = ARBITER_CAP_PER_NODE_W,
+    comm_nbytes: int = 64 << 10,
+    comm_iterations: int = 2,
+    compute_s: float = 10e-3,
+    compute_iterations: int = 3,
+) -> SweepPlan:
+    """Two co-scheduled jobs under a cluster power cap (multi-job study).
+
+    Job A (first half of the nodes) is communication-bound — alltoall
+    loops whose ranks spend most time in MPI waits, so under the
+    ``redistribute`` policy its nodes become budget donors.  Job B
+    (second half) is compute-bound and sets the makespan; the donated
+    headroom lets its nodes run a higher P-state than the uniform split
+    allows at the same global cap.
+    """
+    spec = ClusterSpec.with_shape(nodes=n_nodes, sockets=2, cores_per_socket=4)
+    cores = 8
+    half = n_nodes // 2
+    jobs = [
+        {
+            "n_ranks": half * cores, "node_offset": 0,
+            "op": "alltoall", "nbytes": comm_nbytes,
+            "iterations": comm_iterations,
+        },
+        {
+            "n_ranks": half * cores, "node_offset": half,
+            "op": "allreduce", "nbytes": 1 << 10,
+            "iterations": compute_iterations, "compute_s": compute_s,
+        },
+    ]
+    cap = cap_per_node_w * n_nodes
+    schemes = (("no-cap", None), ("uniform", "uniform"),
+               ("redistribute", "redistribute"))
+    cells = [
+        _multijob_cell(
+            "ext-arbiter", jobs, spec, policy=policy, power_cap_w=cap,
+            label=f"multijob/{name}",
+        )
+        for name, policy in schemes
+    ]
+
+    def assemble(results):
+        rows: List[Tuple] = []
+        for (name, _policy), r in zip(schemes, results):
+            job_a, job_b = r.extra["jobs"]
+            arb = r.arbiter or {}
+            rows.append(
+                (
+                    name,
+                    r.duration_s * 1e3,
+                    job_a["duration_s"] * 1e3,
+                    job_b["duration_s"] * 1e3,
+                    r.energy_j,
+                    arb.get("donated_j", 0.0),
+                )
+            )
+        headers = [
+            "Scheme", "Makespan (ms)", "Job A (ms)", "Job B (ms)",
+            "Energy (J)", "Donated (J)",
+        ]
+        notes = (
+            "Equal global cap for uniform and redistribute; job A's alltoall\n"
+            "slack funds job B's higher P-state under redistribution, so the\n"
+            "compute-bound makespan drops without exceeding the cap."
+        )
+        return headers, rows, notes
+
+    return SweepPlan(cells, assemble)
+
+
+def extension_power_arbiter(
+    n_nodes: int = 16,
+    cap_per_node_w: float = ARBITER_CAP_PER_NODE_W,
+    comm_nbytes: int = 64 << 10,
+    comm_iterations: int = 2,
+    compute_s: float = 10e-3,
+    compute_iterations: int = 3,
+):
+    """Extension: the cluster power-budget arbiter on a two-job scenario
+    (no-cap / uniform / redistribute at one global cap) — redistribute
+    should beat uniform on makespan at the same cap."""
+    return _run_plan(plan_ext_arbiter(
+        n_nodes, cap_per_node_w, comm_nbytes, comm_iterations,
+        compute_s, compute_iterations,
+    ))
+
+
 #: CLI experiment name → zero-argument cell-plan producer (the default
 #: parameterisation of each experiment, decomposed but not yet run).
 CELL_PLANS: Dict[str, Callable[[], SweepPlan]] = {
@@ -1330,4 +1476,5 @@ CELL_PLANS: Dict[str, Callable[[], SweepPlan]] = {
     "ext-governor-mixed": plan_ext_governor_mixed,
     "ext-governor-apps": plan_ext_governor_apps,
     "ext-faults": plan_ext_faults,
+    "ext-arbiter": plan_ext_arbiter,
 }

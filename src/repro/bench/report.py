@@ -104,6 +104,10 @@ def render_sweep_report(stats: dict) -> str:
              f"{cache.get('hits', 0)}/{cache.get('misses', 0)}"
              f"/{cache.get('writes', 0)}")
         )
+        if cache.get("write_errors"):
+            summary_rows.append(
+                ("disk cache write errors", cache["write_errors"])
+            )
     if stats.get("cache_dir"):
         summary_rows.append(("cache dir", stats["cache_dir"]))
     if stats.get("substrate_hits", 0) or stats.get("substrate_misses", 0):

@@ -35,10 +35,11 @@ output is bit-identical to serial output.  The observability flags
 (``--trace`` / ``--metrics`` / ``--profile``) ride through the runner:
 each cell captures its payload wherever it runs and the parent replays
 payloads in submit order (see :mod:`repro.obs`), so ``--jobs 4`` records
-exactly what ``--jobs 1`` does.  ``--governor`` / ``--faults`` are plan
-parameters: the configs serialize into each cell's spec (and its cache
-key), workers reconstruct them, and the per-run report dicts ride back
-on the results — there is exactly one execution path.
+exactly what ``--jobs 1`` does.  ``--governor`` / ``--faults`` /
+``--power-cap`` are plan parameters: the configs serialize into each
+cell's spec (and its cache key), workers reconstruct them, and the
+per-run report dicts ride back on the results — there is exactly one
+execution path.
 """
 
 from __future__ import annotations
@@ -96,6 +97,7 @@ EXPERIMENTS = {
     "ext-governor-mixed": bench.extension_governor_mixed,
     "ext-governor-apps": bench.extension_governor_apps,
     "ext-faults": bench.extension_faults_governor,
+    "ext-arbiter": bench.extension_power_arbiter,
 }
 
 
@@ -159,6 +161,16 @@ def _add_instrumentation_flags(subparser: argparse.ArgumentParser) -> None:
         help="seed for the fault plan's randomness (default 0; "
              "needs --faults)",
     )
+    subparser.add_argument(
+        "--power-cap", type=float, default=None, metavar="WATTS",
+        help="enforce a cluster-wide power cap through the budget "
+             "arbiter (repro.runtime.arbiter) on every simulation this "
+             "command runs",
+    )
+    subparser.add_argument(
+        "--arbiter", choices=["uniform", "redistribute"], default=None,
+        help="cap-splitting policy (default uniform; needs --power-cap)",
+    )
 
 
 def _add_runner_flags(subparser: argparse.ArgumentParser) -> None:
@@ -196,8 +208,10 @@ class _Instrumentation:
     def __init__(self, args):
         self.governor_config = _governor_config(args)
         self.fault_plan = _fault_plan(args)
+        self.arbiter_config = _arbiter_config(args)
         self.governor_reports: List[dict] = []
         self.fault_reports: List[dict] = []
+        self.arbiter_reports: List[dict] = []
 
     @property
     def governor_params(self):
@@ -213,6 +227,13 @@ class _Instrumentation:
             if self.fault_plan is not None else None
         )
 
+    @property
+    def arbiter_params(self):
+        return (
+            self.arbiter_config.to_dict()
+            if self.arbiter_config is not None else None
+        )
+
     def cell_params(self, params: dict) -> dict:
         """Fold the instrumentation configs into one cell's params.
 
@@ -223,6 +244,8 @@ class _Instrumentation:
             params["governor"] = self.governor_params
         if self.fault_params is not None:
             params["faults"] = self.fault_params
+        if self.arbiter_params is not None:
+            params["arbiter"] = self.arbiter_params
         return params
 
     def collect(self, results) -> None:
@@ -234,6 +257,10 @@ class _Instrumentation:
         if self.fault_plan is not None:
             self.fault_reports.extend(
                 r.faults for r in results if r.faults is not None
+            )
+        if self.arbiter_config is not None:
+            self.arbiter_reports.extend(
+                r.arbiter for r in results if r.arbiter is not None
             )
 
 
@@ -272,6 +299,8 @@ class _RunnerSetup:
                 f" | disk cache {cs['hits']} hits / {cs['misses']} misses"
                 f" / {cs['writes']} writes ({self.cache.root})"
             )
+            if cs.get("write_errors"):
+                line += f" | {cs['write_errors']} WRITE ERRORS (store degraded)"
         print(line, file=sys.stderr)
         registry = ambient_metrics_registry()
         save_sweep_stats(
@@ -317,6 +346,25 @@ def _governor_config(args):
     if theta_us is not None:
         kwargs["theta_s"] = theta_us * 1e-6
     return GovernorConfig(**kwargs)
+
+
+def _arbiter_config(args):
+    """Build an ArbiterConfig from the CLI flags (None = not requested)."""
+    cap_w = getattr(args, "power_cap", None)
+    policy_name = getattr(args, "arbiter", None)
+    if cap_w is None:
+        if policy_name is not None:
+            raise SystemExit("--arbiter requires --power-cap")
+        return None
+    if cap_w <= 0:
+        raise SystemExit(
+            f"--power-cap must be a positive wattage, got {cap_w}"
+        )
+    from .runtime import ArbiterConfig, ArbiterPolicy
+
+    return ArbiterConfig(
+        policy=ArbiterPolicy(policy_name or "uniform"), power_cap_w=cap_w
+    )
 
 
 def _instrumented(args, out, fn: Callable[["_Instrumentation"], int]) -> int:
@@ -391,6 +439,22 @@ def _instrumented(args, out, fn: Callable[["_Instrumentation"], int]) -> int:
             )
         else:
             print("faults: no simulation ran under the plan", file=out)
+    if instr.arbiter_config is not None:
+        reports = instr.arbiter_reports
+        if reports:
+            cfg = instr.arbiter_config
+            print(
+                f"arbiter[{cfg.policy.value} @ {cfg.power_cap_w:g} W] over "
+                f"{len(reports)} runs: "
+                f"{sum(r['ticks'] for r in reports)} ticks, "
+                f"{sum(r['rebalances'] for r in reports)} rebalances, "
+                f"{sum(r['freq_changes'] for r in reports)} node freq "
+                f"changes, {sum(r['donated_j'] for r in reports):.3g} J "
+                "donated",
+                file=out,
+            )
+        else:
+            print("arbiter: no simulation ran under the cap", file=out)
     if profile is not None:
         print(profile.report(), file=out)
     return rc
@@ -590,11 +654,13 @@ def cmd_experiment(name: str, out, json_dir=None, args=None, instr=None) -> int:
             refresh=setup.refresh, stats=setup.stats,
             governor=instr.governor_params if instr is not None else None,
             faults=instr.fault_params if instr is not None else None,
+            arbiter=instr.arbiter_params if instr is not None else None,
         ) as scope:
             headers, rows, notes = EXPERIMENTS[name]()
         if instr is not None:
             instr.governor_reports.extend(scope.governor_reports)
             instr.fault_reports.extend(scope.fault_reports)
+            instr.arbiter_reports.extend(scope.arbiter_reports)
         setup.finish()
     print(render_experiment(name, headers, rows, notes), file=out)
     if json_dir is not None:
@@ -871,6 +937,7 @@ def cmd_cache(args, out) -> int:
             ("entries", stats["entries"]),
             ("total size (MB)", f"{stats['total_bytes'] / 1e6:.2f}"),
             ("corrupt", stats["corrupt"]),
+            ("writable", "yes" if stats["writable"] else "NO (degraded)"),
         ]
         for experiment, count in sorted(stats["by_experiment"].items()):
             rows.append((f"  {experiment}", count))

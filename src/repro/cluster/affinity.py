@@ -33,8 +33,11 @@ class AffinityMap:
     """Resolved binding of ``n_ranks`` MPI ranks onto a :class:`Cluster`.
 
     Ranks are block-distributed across nodes: rank r runs on node
-    ``r // cores_per_node`` (one process per core, fully subscribed nodes),
-    which is how all the paper's experiments are laid out.
+    ``node_offset + r // cores_per_node`` (one process per core, fully
+    subscribed nodes), which is how all the paper's experiments are laid
+    out.  ``node_offset`` lets several co-scheduled jobs occupy disjoint
+    contiguous node ranges of one cluster (the multi-job scenario);
+    single-job callers leave it at 0 and see the historical mapping.
     """
 
     def __init__(
@@ -42,13 +45,17 @@ class AffinityMap:
         cluster: Cluster,
         n_ranks: int,
         policy: AffinityPolicy = AffinityPolicy.BUNCH,
+        node_offset: int = 0,
     ):
         c = cluster.cores_per_node
         if n_ranks < 1:
             raise ValueError("need at least one rank")
-        if n_ranks > cluster.n_nodes * c:
+        if node_offset < 0:
+            raise ValueError("node_offset must be >= 0")
+        if node_offset * c + n_ranks > cluster.n_nodes * c:
             raise ValueError(
-                f"{n_ranks} ranks exceed {cluster.n_nodes * c} cores"
+                f"{n_ranks} ranks starting at node {node_offset} exceed "
+                f"{cluster.n_nodes * c} cores"
             )
         if n_ranks % c != 0:
             raise ValueError(
@@ -59,11 +66,12 @@ class AffinityMap:
         self.n_ranks = n_ranks
         self.policy = policy
         self.cores_per_node = c
+        self.node_offset = node_offset
         self.n_nodes_used = n_ranks // c
         self._rank_to_core: List[Core] = []
         self._core_to_rank: Dict[int, int] = {}
         for rank in range(n_ranks):
-            node = cluster.nodes[rank // c]
+            node = cluster.nodes[node_offset + rank // c]
             local = rank % c
             os_id = self._local_rank_to_os_id(local, node)
             core = node.core_by_os_id(os_id)
@@ -102,12 +110,12 @@ class AffinityMap:
         return rank % self.cores_per_node
 
     def ranks_on_node(self, node_id: int) -> List[int]:
-        base = node_id * self.cores_per_node
+        base = (node_id - self.node_offset) * self.cores_per_node
         return list(range(base, base + self.cores_per_node))
 
     def node_leader(self, node_id: int) -> int:
         """The node-leader rank (lowest rank on the node, MVAPICH2 style)."""
-        return node_id * self.cores_per_node
+        return (node_id - self.node_offset) * self.cores_per_node
 
     def is_leader(self, rank: int) -> bool:
         return self.local_rank(rank) == 0
@@ -144,7 +152,9 @@ class AffinityMap:
     def n_racks_used(self) -> int:
         """Racks touched by this job (nodes are block-assigned to racks)."""
         spec = self.cluster.spec
-        return -(-self.n_nodes_used // spec.nodes_per_rack)
+        first = spec.rack_of_node(self.node_offset)
+        last = spec.rack_of_node(self.node_offset + self.n_nodes_used - 1)
+        return last - first + 1
 
     def rack_of(self, rank: int) -> int:
         return self.cluster.spec.rack_of_node(self.node_of(rank))
@@ -152,8 +162,10 @@ class AffinityMap:
     def nodes_in_rack(self, rack: int) -> List[int]:
         """Node ids of ``rack`` that this job occupies."""
         per = self.cluster.spec.nodes_per_rack
+        lo = self.node_offset
+        hi = self.node_offset + self.n_nodes_used
         return [
-            n for n in range(rack * per, (rack + 1) * per) if n < self.n_nodes_used
+            n for n in range(rack * per, (rack + 1) * per) if lo <= n < hi
         ]
 
     def rack_leader(self, rack: int) -> int:

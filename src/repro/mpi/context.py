@@ -99,6 +99,8 @@ class RankContext:
         governor = self.job.governor
         if governor is not None:
             governor.wait_begin(self)
+        arbiter = self.job.arbiter
+        wait_start = self.env.now if arbiter is not None else 0.0
         if self.job.progress is ProgressMode.POLLING:
             value = yield event
         else:
@@ -114,6 +116,10 @@ class RankContext:
                 yield self.env.timeout(
                     spec.interrupt_latency + spec.resched_latency
                 )
+        if arbiter is not None:
+            # The redistribute policy's slack signal: how long this core
+            # sat in MPI waits (communication-bound nodes donate budget).
+            arbiter.record_wait(self.core.core_id, self.env.now - wait_start)
         if governor is not None:
             penalty = governor.wait_end(self)
             if penalty > 0.0:

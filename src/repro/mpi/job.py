@@ -106,6 +106,8 @@ class MpiJob:
         session: Optional[SimSession] = None,
         governor: Optional["Governor"] = None,  # noqa: F821
         faults: Optional["FaultPlan"] = None,  # noqa: F821
+        arbiter: Optional["PowerArbiter"] = None,  # noqa: F821
+        node_offset: int = 0,
     ):
         from ..collectives.registry import CollectiveEngine  # local: avoid cycle
 
@@ -119,6 +121,7 @@ class MpiJob:
                 columnar=columnar,
                 governor=governor,
                 faults=faults,
+                arbiter=arbiter,
             )
         elif governor is not None:
             raise ValueError(
@@ -130,14 +133,23 @@ class MpiJob:
                 "pass the fault plan to the SimSession (the session owns "
                 "it), not to a job adopting an existing session"
             )
+        elif arbiter is not None:
+            raise ValueError(
+                "pass the arbiter to the SimSession (the session owns it), "
+                "not to a job adopting an existing session"
+            )
         self.session = session
         #: Optional online power governor (None = zero-overhead path).
         self.governor = session.governor
         #: Live fault-injection state (None = unperturbed, zero overhead).
         self.faults = session.faults
+        #: Optional cluster power-budget arbiter (owned by the session).
+        self.arbiter = session.arbiter
         self.env = session.env
         self.cluster = session.cluster
-        self.affinity = AffinityMap(self.cluster, n_ranks, policy=affinity)
+        self.affinity = AffinityMap(
+            self.cluster, n_ranks, policy=affinity, node_offset=node_offset
+        )
         self.net = session.net
         self.progress = progress
         if progress is ProgressMode.BLOCKING:
@@ -204,44 +216,76 @@ class MpiJob:
             raise RuntimeError(f"flag {key} over-arrived")
 
     # -- execution ----------------------------------------------------------------
-    def run(self, program: RankProgram, *args: Any, **kwargs: Any) -> JobResult:
-        """Run ``program`` on every rank and account time + energy."""
+    @property
+    def launched(self) -> bool:
+        """True once :meth:`launch` (or :meth:`run`) queued the ranks."""
+        return self._ran
+
+    def launch(self, program: RankProgram, *args: Any, **kwargs: Any) -> "MpiJob":
+        """Queue ``program`` on every rank without driving the simulation.
+
+        The multi-job half of :meth:`run`: several jobs sharing one
+        :class:`~repro.sim.session.SimSession` each ``launch()``, then
+        :meth:`SimSession.run_jobs` drains the shared event queue once and
+        :meth:`collect` builds each job's result.  Single-job callers keep
+        using :meth:`run`, which composes the two around ``env.run()``.
+        """
         if self._ran:
             raise RuntimeError("an MpiJob can only run once; build a new one")
         self._ran = True
-        wall_start = time.perf_counter()
-        events_before = self.env.events_processed
-        finish_times: List[float] = [0.0] * self.n_ranks
-        returns: List[Any] = [None] * self.n_ranks
+        self._wall_start = time.perf_counter()
+        self._events_before = self.env.events_processed
+        self._finish_times = [0.0] * self.n_ranks
+        self._returns: List[Any] = [None] * self.n_ranks
+        arbiter = self.arbiter
 
         def wrapper(ctx: RankContext):
             ctx.core.set_activity(Activity.POLLING, self.env.now)
             value = yield from program(ctx, *args, **kwargs)
             ctx.core.set_activity(Activity.IDLE, self.env.now)
-            finish_times[ctx.rank] = self.env.now
-            returns[ctx.rank] = value
+            self._finish_times[ctx.rank] = self.env.now
+            self._returns[ctx.rank] = value
+            if arbiter is not None:
+                arbiter.rank_finished()
 
         for ctx in self.contexts:
             self.env.process(wrapper(ctx), name=f"rank{ctx.rank}")
-        self.env.run()
+        if arbiter is not None:
+            arbiter.job_started(self)
+        tracer = self.session.tracer
+        if tracer.enabled:
+            tracer.mark(
+                self.env.now, "job.begin",
+                ranks=self.n_ranks,
+                node_offset=self.affinity.node_offset,
+                nodes=self.affinity.n_nodes_used,
+            )
+        return self
+
+    def collect(self) -> JobResult:
+        """Build this job's :class:`JobResult` after the event queue drained.
+
+        Requires the session to be settled
+        (:meth:`~repro.sim.session.SimSession.finish_run`) so the
+        accountant is finalized.  ``energy_j`` here is the *whole-system*
+        total — :meth:`SimSession.run_jobs` overwrites it with the
+        per-job attribution when several jobs share the session.
+        """
         if not self.engine.quiescent():
             raise RuntimeError(
                 "job finished with unmatched messages (deadlock or missing recv)"
             )
-        end = max(finish_times) if finish_times else self.env.now
-        if self.governor is not None:
-            self.governor.finish_run()
-        if self.faults is not None:
-            self.faults.finish_run()
-        self.accountant.finalize(end)
-        self.stats.wall_time_s = time.perf_counter() - wall_start
-        self.stats.events_processed = self.env.events_processed - events_before
+        end = max(self._finish_times) if self._finish_times else self.env.now
+        self.stats.wall_time_s = time.perf_counter() - self._wall_start
+        self.stats.events_processed = (
+            self.env.events_processed - self._events_before
+        )
         self.stats.rerate_calls = self.net.fabric.rerate_calls
         self.stats.flows_rerated = self.net.fabric.flows_rerated
         result = JobResult(
             duration_s=end,
-            rank_finish_times=finish_times,
-            returns=returns,
+            rank_finish_times=self._finish_times,
+            returns=self._returns,
             energy_j=self.accountant.total_energy_j(),
             accountant=self.accountant,
             stats=self.stats,
@@ -250,6 +294,14 @@ class MpiJob:
         for observer in JOB_OBSERVERS:
             observer(self, result)
         return result
+
+    def run(self, program: RankProgram, *args: Any, **kwargs: Any) -> JobResult:
+        """Run ``program`` on every rank and account time + energy."""
+        self.launch(program, *args, **kwargs)
+        self.env.run()
+        end = max(self._finish_times) if self._finish_times else self.env.now
+        self.session.finish_run(end)
+        return self.collect()
 
 
 def run_collective_once(

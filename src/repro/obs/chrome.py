@@ -13,8 +13,13 @@ tracing UI and https://ui.perfetto.dev load directly:
   greedily into lanes so concurrent flows never nest;
 * **power counters** (pid ``3``) — counter ("C") tracks for mean core
   frequency, throttled-core count, in-flight flows, cumulative bytes
-  delivered, and the governor's slack EWMA; ``fault.*`` and ``mark``
-  records become instant ("i") events.
+  delivered, the governor's slack EWMA, and the arbiter's enforced
+  budget / donor count; ``fault.*`` and ``mark`` records become
+  instant ("i") events;
+* **job lanes** (pid ``4``) — one complete slice per co-scheduled job
+  (``job.begin``/``job.end`` marks from
+  :meth:`~repro.sim.session.SimSession.run_jobs`), keyed by node
+  offset, carrying the job's attributed energy.
 
 Timestamps are microseconds of *simulation* time, emitted in
 non-decreasing order.  The output is a plain dict (JSON object format:
@@ -31,6 +36,7 @@ __all__ = ["chrome_trace", "export_chrome_trace", "read_jsonl_records"]
 _PID_RANKS = 1
 _PID_FLOWS = 2
 _PID_POWER = 3
+_PID_JOBS = 4
 
 
 def _us(t: float) -> float:
@@ -75,6 +81,9 @@ def chrome_trace(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     active_flows = 0
     bytes_delivered = 0.0
     max_t = 0.0
+    # Co-scheduled job lanes: node_offset -> (begin time, begin args).
+    job_open: Dict[int, Tuple[float, Dict[str, Any]]] = {}
+    job_tids: Dict[int, int] = {}
 
     def tid_of(process: str) -> int:
         if process not in tids:
@@ -141,10 +150,36 @@ def chrome_trace(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
                          if k not in ("t", "type")},
             })
         elif rtype == "mark":
-            if rec.get("name") == "governor.slack":
+            mark_name = rec.get("name")
+            if mark_name == "governor.slack":
                 ewma = rec.get("ewma_s")
                 if ewma is not None:
                     counter(t, "slack_ewma_us", ewma * 1e6)
+            elif mark_name == "arbiter.tick":
+                budget = rec.get("budget_w")
+                if budget is not None:
+                    counter(t, "arbiter_budget_w", budget)
+                donors = rec.get("donors")
+                if donors is not None:
+                    counter(t, "arbiter_donors", donors)
+            elif mark_name == "job.begin":
+                offset = int(rec.get("node_offset", 0))
+                job_open[offset] = (t, {
+                    k: v for k, v in rec.items() if k not in ("t", "type", "name")
+                })
+            elif mark_name == "job.end":
+                offset = int(rec.get("node_offset", 0))
+                begin = job_open.pop(offset, None)
+                started, args = begin if begin is not None else (0.0, {})
+                args.update({k: v for k, v in rec.items()
+                             if k not in ("t", "type", "name")})
+                if offset not in job_tids:
+                    job_tids[offset] = len(job_tids)
+                events.append({
+                    "ph": "X", "pid": _PID_JOBS, "tid": job_tids[offset],
+                    "ts": _us(started), "dur": _us(t - started),
+                    "name": f"job@node{offset}", "cat": "job", "args": args,
+                })
             else:
                 events.append({
                     "ph": "i", "pid": _PID_POWER, "tid": 0, "ts": _us(t),
@@ -169,13 +204,18 @@ def chrome_trace(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     events.sort(key=lambda e: e["ts"])
 
     meta: List[Dict[str, Any]] = []
-    for pid, name in ((_PID_RANKS, "ranks"), (_PID_FLOWS, "flows"),
-                      (_PID_POWER, "power")):
+    pids = [(_PID_RANKS, "ranks"), (_PID_FLOWS, "flows"), (_PID_POWER, "power")]
+    if job_tids:
+        pids.append((_PID_JOBS, "jobs"))
+    for pid, name in pids:
         meta.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
                      "name": "process_name", "args": {"name": name}})
     for process, tid in sorted(tids.items(), key=lambda kv: kv[1]):
         meta.append({"ph": "M", "pid": _PID_RANKS, "tid": tid, "ts": 0,
                      "name": "thread_name", "args": {"name": process}})
+    for offset, tid in sorted(job_tids.items(), key=lambda kv: kv[1]):
+        meta.append({"ph": "M", "pid": _PID_JOBS, "tid": tid, "ts": 0,
+                     "name": "thread_name", "args": {"name": f"job@node{offset}"}})
 
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 

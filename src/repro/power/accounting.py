@@ -257,6 +257,30 @@ class EnergyAccountant:
         """Convenience: total energy in kJ (the unit of Tables I and II)."""
         return self.total_energy_j(now) / 1e3
 
+    def attribute_energy_j(
+        self, core_ids, n_nodes: int, now: Optional[float] = None
+    ) -> float:
+        """Energy attributable to one job: its cores + its nodes' base draw.
+
+        ``core_ids`` are the cores the job's ranks were bound to and
+        ``n_nodes`` the node count those cores span.  The node base
+        overhead is charged for the whole accounting window (a
+        co-scheduled job holds its nodes from t=0 even if its ranks
+        finish early).  The sum over jobs of this quantity is *less*
+        than :meth:`total_energy_j` whenever nodes sit unused — the
+        difference is the cluster's idle residual, which
+        :meth:`repro.sim.session.SimSession.run_jobs` reports
+        explicitly so the parts always sum to the total.
+        """
+        self._sync_core_energy()
+        core_j = sum(self._core_energy[c] for c in core_ids)
+        end = now if now is not None else self._finalized_at
+        if end is None:
+            raise ValueError("pass `now` or call finalize() first")
+        return core_j + (
+            self.model.params.node_base_w * n_nodes * (end - self.start_time)
+        )
+
     def average_power_w(self) -> float:
         """Mean system power over the finalized window (W)."""
         if self._finalized_at is None:

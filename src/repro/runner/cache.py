@@ -26,12 +26,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 from .cells import CellResult, SweepCell
+
+_LOG = logging.getLogger("repro.runner")
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -45,7 +48,10 @@ __all__ = [
 #: 2: exact-deadline ``call_at`` (re-armed fabric/governor timers no
 #: longer drift an ulp) and coalesced θ-countdown timer groups can shift
 #: governed timelines at same-timestamp ties.
-CACHE_SCHEMA = 2
+#: 3: ``Governor.finish_run`` now charges the Odvfs/Othrottle restore
+#: penalty for drops left over at end of run, changing the reported
+#: ``penalty_s`` of governed cells without any spec change.
+CACHE_SCHEMA = 3
 
 
 def default_cache_dir() -> Path:
@@ -114,13 +120,39 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Failed :meth:`put` calls (read-only or full store).  Surfaced
+        #: through :meth:`stats` into ``last_sweep.json`` / bench-report
+        #: so a degraded store is visible, not silent.
+        self.write_errors = 0
+        self._warned_write_error = False
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def contains(self, key: str) -> bool:
-        """Cheap presence probe (no read, no hit/miss accounting)."""
-        return self._path(key).exists()
+        """Cheap *validity* probe (no JSON parse, no hit/miss accounting).
+
+        A bare ``exists()`` would let a corrupt/truncated entry block the
+        memo write-through forever (the entry exists, so it is never
+        rewritten, and every cold process re-executes the cell).  Instead
+        the probe checks the atomic-write envelope: the file is non-empty,
+        starts with ``{`` and ends with ``}`` — anything torn mid-write or
+        truncated by the filesystem fails this and reads as absent, so
+        the write-through repairs it.  Full-parse corruption detection
+        stays where it was: :meth:`get` treats unparsable entries as
+        misses.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                if fh.read(1) != b"{":
+                    return False
+                size = fh.seek(0, os.SEEK_END)
+                fh.seek(max(0, size - 8))
+                tail = fh.read().rstrip()
+            return tail.endswith(b"}")
+        except OSError:
+            return False
 
     def get(self, key: str) -> Optional[CellResult]:
         """Stored result for ``key``, or None (corrupt entries = miss)."""
@@ -161,14 +193,27 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
-        except OSError:
+        except OSError as exc:
             # A read-only or full cache dir degrades to "no cache",
-            # never to a failed sweep.
+            # never to a failed sweep — but not *silently*: count it and
+            # warn once per cache instance (≈ once per sweep).
+            self.write_errors += 1
+            if not self._warned_write_error:
+                self._warned_write_error = True
+                _LOG.warning(
+                    "result cache at %s is not writable (%s); results "
+                    "will not be memoized this sweep", self.root, exc
+                )
             return
         self.writes += 1
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+        }
 
     # -- maintenance (the `repro cache` CLI) --------------------------
     def iter_entries(self):
@@ -228,7 +273,21 @@ class ResultCache:
             "by_experiment": by_experiment,
             "oldest_mtime": oldest,
             "newest_mtime": newest,
+            "writable": self.probe_writable(),
         }
+
+    def probe_writable(self) -> bool:
+        """Can this process write entries here?  (``repro cache stats``
+        shows this so a read-only/full store — the condition
+        :meth:`put` degrades on — is visible from the CLI.)"""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-probe-")
+            os.close(fd)
+            os.unlink(tmp)
+            return True
+        except OSError:
+            return False
 
     def gc(
         self,

@@ -47,6 +47,11 @@ Cell kinds
     online governor policy.
 ``osu``
     One OSU microbenchmark point (latency / bw / bibw / collective).
+``multijob``
+    Several co-scheduled jobs on one shared fabric at disjoint node
+    offsets, optionally under a cluster power-budget arbiter
+    (:mod:`repro.runtime.arbiter`); reports makespan, per-job energy
+    attribution, and the arbiter's telemetry.
 """
 
 from __future__ import annotations
@@ -138,6 +143,8 @@ class CellResult:
     governor: Optional[Dict[str, Any]] = None
     #: Fault report fields, when the cell carried a fault plan.
     faults: Optional[Dict[str, Any]] = None
+    #: Arbiter report counters, when the cell carried an arbiter config.
+    arbiter: Optional[Dict[str, Any]] = None
     #: Application-level quantities (app cells only).
     app: Optional[Dict[str, Any]] = None
     #: Kind-specific extras: sampled power trace, uplink flow counts,
@@ -163,6 +170,7 @@ class CellResult:
             "throttle_transitions": self.throttle_transitions,
             "governor": self.governor,
             "faults": self.faults,
+            "arbiter": self.arbiter,
             "app": self.app,
             "extra": self.extra,
             "metrics": self.metrics,
@@ -275,6 +283,15 @@ def _cell_faults(params: Mapping):
     return FaultPlan.from_dict(params["faults"])
 
 
+def _cell_arbiter(params: Mapping):
+    """A fresh in-worker PowerArbiter from a cell's plain-data config."""
+    if params.get("arbiter") is None:
+        return None
+    from ..runtime.arbiter import ArbiterConfig, PowerArbiter
+
+    return PowerArbiter(ArbiterConfig.from_dict(params["arbiter"]))
+
+
 def _session_from_params(params: Mapping, keep_segments: bool):
     from ..sim.session import SimSession
 
@@ -287,6 +304,7 @@ def _session_from_params(params: Mapping, keep_segments: bool):
         validate=False,  # validated once per signature in _substrate_specs
         governor=_cell_governor(params),
         faults=_cell_faults(params),
+        arbiter=_cell_arbiter(params),
     )
 
 
@@ -307,6 +325,8 @@ def _harvest_reports(cell: CellResult, session) -> None:
         from dataclasses import asdict
 
         cell.faults = asdict(session.faults.report())
+    if session.arbiter is not None:
+        cell.arbiter = session.arbiter.report().to_dict()
 
 
 def _seal(job, result, session, params: Mapping) -> CellResult:
@@ -470,12 +490,83 @@ def _execute_osu(params: Mapping) -> CellResult:
     return cell
 
 
+def _job_program(jp: Mapping):
+    """The per-rank program of one co-scheduled job (collective-cell
+    shape: optional compute, then ``iterations`` collectives)."""
+    op = jp.get("op", "alltoall")
+    nbytes = int(jp.get("nbytes", 0))
+    iterations = int(jp.get("iterations", 1))
+    compute_s = jp.get("compute_s")
+
+    def program(ctx):
+        for _ in range(iterations):
+            if compute_s is not None:
+                yield from ctx.compute(compute_s)
+            if nbytes > 0:
+                yield from getattr(ctx, op)(nbytes)
+
+    return program
+
+
+def _execute_multijob(params: Mapping) -> CellResult:
+    """Co-scheduled jobs sharing one fabric, optionally under an arbiter.
+
+    ``params["jobs"]`` is a list of job specs, each with ``n_ranks``,
+    ``node_offset``, and the collective-cell workload keys (``op`` /
+    ``nbytes`` / ``iterations`` / ``compute_s``).  The cell's scalars
+    describe the whole scenario (makespan, total energy); per-job
+    attribution and the arbiter report land in ``extra``.
+    """
+    from ..mpi.job import MpiJob
+    from ..mpi.p2p import ProgressMode
+
+    session = _session_from_params(
+        params, bool(params.get("keep_segments", False))
+    )
+    progress = ProgressMode(params.get("progress", "polling"))
+    jobs = [
+        MpiJob(
+            int(jp["n_ranks"]),
+            session=session,
+            collectives=_engine(jp.get("mode", params.get("mode", "none"))),
+            progress=progress,
+            node_offset=int(jp.get("node_offset", 0)),
+        )
+        for jp in params["jobs"]
+    ]
+    for job, jp in zip(jobs, params["jobs"]):
+        job.launch(_job_program(jp))
+    results = session.run_jobs(jobs)
+    makespan = max(r.duration_s for r in results)
+    total_j = session.accountant.total_energy_j()
+    cell = CellResult(
+        duration_s=makespan,
+        energy_j=total_j,
+        average_power_w=total_j / makespan if makespan > 0 else 0.0,
+        dvfs_transitions=sum(j.stats.dvfs_transitions for j in jobs),
+        throttle_transitions=sum(j.stats.throttle_transitions for j in jobs),
+    )
+    _harvest_reports(cell, session)
+    cell.extra["jobs"] = [
+        {
+            "n_ranks": job.n_ranks,
+            "node_offset": job.affinity.node_offset,
+            "duration_s": r.duration_s,
+            "energy_j": r.energy_j,
+        }
+        for job, r in zip(jobs, results)
+    ]
+    cell.extra["residual_energy_j"] = session.residual_energy_j
+    return cell
+
+
 _EXECUTORS: Dict[str, Callable[[Mapping], CellResult]] = {
     "collective": _execute_collective,
     "alltoallv": _execute_alltoallv,
     "mixed": _execute_mixed,
     "app": _execute_app,
     "osu": _execute_osu,
+    "multijob": _execute_multijob,
 }
 
 
@@ -493,18 +584,20 @@ def execute_cell(cell: SweepCell, capture: Optional[Any] = None) -> CellResult:
     instrumentation, so the cell itself stays a pure function of
     ``(cell, capture)``.
 
-    Ambient governor/fault scopes are *always* shadowed (independent of
-    ``capture``): a session built inside a cell would otherwise adopt
-    the calling process's ``use_governor``/``use_faults`` scope when run
+    Ambient governor/fault/arbiter scopes are *always* shadowed
+    (independent of ``capture``): a session built inside a cell would
+    otherwise adopt the calling process's
+    ``use_governor``/``use_faults``/``use_arbiter`` scope when run
     inline but not in a worker, breaking the inline == worker == cache
-    identity.  Governor configs and fault plans reach a cell through its
-    params only.
+    identity.  Governor configs, fault plans, and arbiter configs reach
+    a cell through its params only.
     """
     from ..faults.scope import use_faults
+    from ..runtime.arbiter import use_arbiter
     from ..runtime.governor import use_governor
 
     wall0 = time.perf_counter()
-    with use_governor(None), use_faults(None):
+    with use_governor(None), use_faults(None), use_arbiter(None):
         if capture:
             from ..obs.capture import capture_cell
 

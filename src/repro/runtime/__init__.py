@@ -18,6 +18,10 @@ Layers
 :mod:`~repro.runtime.telemetry`
     The per-run :class:`GovernorReport` exported through
     :mod:`repro.bench.export`.
+:mod:`~repro.runtime.arbiter`
+    The cluster-scale dual: a global power cap arbitrated into per-node
+    budgets (``uniform`` / ``redistribute``) across co-scheduled jobs,
+    with its own :func:`use_arbiter` ambient scope.
 
 Use::
 
@@ -29,6 +33,15 @@ Use::
     print(gov.finish_run().one_line())
 """
 
+from .arbiter import (
+    ArbiterConfig,
+    ArbiterPolicy,
+    ArbiterReport,
+    ArbiterScope,
+    PowerArbiter,
+    ambient_arbiter_scope,
+    use_arbiter,
+)
 from .governor import (
     Governor,
     GovernorConfig,
@@ -41,6 +54,10 @@ from .slack import EwmaEstimator, Log2Histogram, SlackMonitor
 from .telemetry import GovernorReport, merge_reports
 
 __all__ = [
+    "ArbiterConfig",
+    "ArbiterPolicy",
+    "ArbiterReport",
+    "ArbiterScope",
     "EwmaEstimator",
     "Governor",
     "GovernorConfig",
@@ -48,8 +65,11 @@ __all__ = [
     "GovernorReport",
     "GovernorScope",
     "Log2Histogram",
+    "PowerArbiter",
     "SlackMonitor",
+    "ambient_arbiter_scope",
     "ambient_governor_scope",
     "merge_reports",
+    "use_arbiter",
     "use_governor",
 ]

@@ -531,6 +531,22 @@ class Governor:
                 st.timer = None
                 self.timers_cancelled += 1
             if st.dropped:
+                # End-of-run restores pay the same Odvfs/Othrottle the
+                # wait_end / transfer_starting paths charge — a program
+                # ending mid-drop must not under-report penalty seconds.
+                # Socket granularity charges once per still-throttled
+                # socket (claimed by clearing the flag, like wait_end).
+                penalty = 0.0
+                sock = self._sockets[st.core.socket_id]
+                if self._granularity is ThrottleGranularity.SOCKET:
+                    if sock.throttled:
+                        sock.throttled = False
+                        penalty += self._throttle_s(st.core)
+                elif st.core.tstate != T_FULL:
+                    penalty += self._throttle_s(st.core)
+                if st.freq_dropped:
+                    penalty += self._dvfs_s(st.core)
+                self.penalty_s += penalty
                 self._finish_restore(st, unthrottle_socket=True)
         report = self.report()
         if self.scope is not None:

@@ -32,10 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cluster.topology import Cluster
     from ..faults.plan import FaultPlan
     from ..faults.state import FaultState
+    from ..mpi.job import JobResult, MpiJob
     from ..network.ibnet import IBNetwork
     from ..network.params import NetworkSpec
     from ..power.accounting import EnergyAccountant
     from ..power.model import PowerModel, PowerModelParams
+    from ..runtime.arbiter import PowerArbiter
     from ..runtime.governor import Governor
 
 
@@ -100,6 +102,7 @@ class SimSession:
         validate: bool = True,
         governor: Optional["Governor"] = None,
         faults: Optional["FaultPlan"] = None,
+        arbiter: Optional["PowerArbiter"] = None,
     ):
         from ..cluster.specs import ClusterSpec
         from ..cluster.topology import Cluster
@@ -109,6 +112,7 @@ class SimSession:
         from ..network.params import NetworkSpec
         from ..power.accounting import EnergyAccountant
         from ..power.model import PowerModel
+        from ..runtime.arbiter import ambient_arbiter_scope
         from ..runtime.governor import ambient_governor_scope
 
         self.cluster_spec = cluster_spec or ClusterSpec.paper_testbed()
@@ -165,6 +169,17 @@ class SimSession:
         self.governor: Optional["Governor"] = governor
         if governor is not None:
             governor.bind(self)
+        if arbiter is None:
+            arb_scope = ambient_arbiter_scope()
+            if arb_scope is not None:
+                arbiter = arb_scope.make_arbiter()
+        #: Optional cluster-wide power-budget arbiter (see
+        #: :mod:`repro.runtime.arbiter`).  Bound *after* the governor so it
+        #: sees the fully instrumented machine; it owns the whole session,
+        #: never an individual job.
+        self.arbiter: Optional["PowerArbiter"] = arbiter
+        if arbiter is not None:
+            arbiter.bind(self)
 
     @classmethod
     def from_spec(cls, spec: dict, tracer: Optional[Tracer] = None) -> "SimSession":
@@ -182,6 +197,8 @@ class SimSession:
         * ``governor`` — ``GovernorConfig.to_dict()`` form; a fresh
           :class:`~repro.runtime.governor.Governor` is built from it.
         * ``faults`` — ``FaultPlan.to_dict()`` form.
+        * ``arbiter`` — ``ArbiterConfig.to_dict()`` form; a fresh
+          :class:`~repro.runtime.arbiter.PowerArbiter` is built from it.
         * ``keep_segments`` / ``columnar`` / ``validate`` — booleans, as
           in ``__init__``.  ``columnar`` selects the energy-accounting
           backend only (byte-identical results), so like
@@ -201,6 +218,11 @@ class SimSession:
             from ..faults.plan import FaultPlan
 
             faults = FaultPlan.from_dict(spec["faults"])
+        arbiter = None
+        if spec.get("arbiter") is not None:
+            from ..runtime.arbiter import ArbiterConfig, PowerArbiter
+
+            arbiter = PowerArbiter(ArbiterConfig.from_dict(spec["arbiter"]))
         return cls(
             cluster_spec=(
                 ClusterSpec.from_dict(spec["cluster"])
@@ -220,7 +242,77 @@ class SimSession:
             validate=spec.get("validate", True),
             governor=governor,
             faults=faults,
+            arbiter=arbiter,
         )
+
+    # -- multi-job lifecycle -------------------------------------------------
+    def finish_run(self, end: float) -> None:
+        """Seal the run at simulated time ``end``: settle every installed
+        instrument, then finalize energy accounting.  Order matters —
+        governor restores (charging any outstanding penalties) and fault
+        state settles before the arbiter seals its report, and the
+        accountant closes segments last so it sees final frequencies."""
+        if self.governor is not None:
+            self.governor.finish_run()
+        if self.faults is not None:
+            self.faults.finish_run()
+        if self.arbiter is not None:
+            self.arbiter.finish_run()
+        self.accountant.finalize(end)
+
+    def run_jobs(self, jobs: List["MpiJob"]) -> List["JobResult"]:
+        """Drive several co-scheduled jobs on this session to completion.
+
+        Each job must already be :meth:`~repro.mpi.job.MpiJob.launch`-ed
+        (its rank processes queued) and must adopt *this* session.  One
+        ``env.run()`` drains them all — they contend for the same fabric
+        — then the session settles instruments once at the global end
+        time and each job collects its :class:`~repro.mpi.job.JobResult`.
+
+        Per-job energy attribution: every result's ``energy_j`` is the
+        job's cores plus its nodes' base draw over the whole window
+        (:meth:`~repro.power.accounting.EnergyAccountant.attribute_energy_j`);
+        the cluster-idle remainder is stored as ``self.residual_energy_j``
+        so ``sum(per-job) + residual == accountant.total_energy_j()``
+        exactly (the residual is computed by subtraction).
+        """
+        if not jobs:
+            raise ValueError("run_jobs needs at least one job")
+        for job in jobs:
+            if job.session is not self:
+                raise ValueError(
+                    "every job in run_jobs must adopt this session"
+                )
+            if not job.launched:
+                raise ValueError(
+                    "launch() every job before run_jobs (ranks not queued)"
+                )
+        self.env.run()
+        end = max(
+            (max(job._finish_times) if job._finish_times else self.env.now)
+            for job in jobs
+        )
+        self.finish_run(end)
+        results = [job.collect() for job in jobs]
+        attributed = 0.0
+        for job, result in zip(jobs, results):
+            result.energy_j = self.accountant.attribute_energy_j(
+                [core.core_id for core in job.affinity._rank_to_core],
+                job.affinity.n_nodes_used,
+            )
+            attributed += result.energy_j
+        #: Energy of nodes/cores no job occupied (0.0 when jobs tile the
+        #: cluster); by construction jobs + residual == total exactly.
+        self.residual_energy_j = self.accountant.total_energy_j() - attributed
+        if self.tracer.enabled:
+            for i, (job, result) in enumerate(zip(jobs, results)):
+                self.tracer.mark(
+                    result.duration_s, "job.end",
+                    job=i, node_offset=job.affinity.node_offset,
+                    nodes=job.affinity.n_nodes_used,
+                    energy_j=result.energy_j,
+                )
+        return results
 
     @property
     def now(self) -> float:

@@ -66,6 +66,25 @@ def test_partial_resume_executes_only_missing(tmp_path):
     assert again.telemetry["probe_hits"] == 3
 
 
+def test_resume_repairs_corrupted_cache_entry(tmp_path):
+    """A torn store entry (killed writer, truncating filesystem) must
+    read as absent at resume — that cell re-executes and the write-
+    through repairs the entry, instead of the probe trusting the
+    corrupt file forever."""
+    cache = ResultCache(tmp_path / "cache")
+    result = _run(tmp_path, cache=cache)
+    victim = result.plan.keys[1]
+    cache._path(victim).write_bytes(b"{torn")
+    again = _run(tmp_path, cache=cache)
+    assert again.ok
+    assert again.telemetry["executed"] == 1
+    assert again.telemetry["probe_hits"] == 3
+    # The re-executed cell wrote the entry back whole.
+    repaired = ResultCache(tmp_path / "cache")
+    assert repaired.contains(victim)
+    assert repaired.get(victim) is not None
+
+
 def test_refresh_reexecutes_everything(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     _run(tmp_path, cache=cache)

@@ -93,6 +93,27 @@ def test_partial_cluster_use(cluster):
     assert amap.node_of(31) == 3
 
 
+def test_node_offset_places_job_on_upper_nodes(cluster):
+    """Co-scheduled jobs occupy disjoint node windows: a 32-rank map at
+    node_offset=4 mirrors the offset-0 map shifted by four nodes."""
+    lower = AffinityMap(cluster, 32)
+    upper = AffinityMap(cluster, 32, node_offset=4)
+    assert upper.n_nodes_used == 4
+    for rank in range(32):
+        assert upper.node_of(rank) == lower.node_of(rank) + 4
+        assert upper.local_rank(rank) == lower.local_rank(rank)
+        assert upper.socket_group(rank) == lower.socket_group(rank)
+        assert upper.core_of(rank).os_id == lower.core_of(rank).os_id
+    # Leaders/rank lists are node-id keyed, so they follow the window.
+    assert upper.node_leader(4) == 0
+    assert upper.ranks_on_node(4) == list(range(8))
+    assert upper.group_a_ranks(4) == [0, 1, 2, 3]
+    # The two maps claim disjoint physical cores.
+    lower_cores = {lower.core_of(r).core_id for r in range(32)}
+    upper_cores = {upper.core_of(r).core_id for r in range(32)}
+    assert not (lower_cores & upper_cores)
+
+
 def test_validation(cluster):
     with pytest.raises(ValueError):
         AffinityMap(cluster, 0)
@@ -100,6 +121,10 @@ def test_validation(cluster):
         AffinityMap(cluster, 65)
     with pytest.raises(ValueError):
         AffinityMap(cluster, 12)  # not a multiple of cores/node
+    with pytest.raises(ValueError):
+        AffinityMap(cluster, 8, node_offset=-1)
+    with pytest.raises(ValueError):
+        AffinityMap(cluster, 32, node_offset=5)  # falls off the cluster
 
 
 def test_4way_8way_shapes():

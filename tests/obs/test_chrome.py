@@ -149,3 +149,33 @@ def test_export_chrome_trace(tmp_path):
     doc = json.loads(dst.read_text())
     assert "traceEvents" in doc
     assert info["events"] == len(doc["traceEvents"])
+
+
+def test_job_lanes_and_arbiter_counters():
+    records = [
+        {"t": 0.0, "type": "mark", "name": "job.begin", "job": 0,
+         "node_offset": 0, "nodes": 2, "ranks": 16},
+        {"t": 0.0, "type": "mark", "name": "job.begin", "job": 1,
+         "node_offset": 2, "nodes": 2, "ranks": 16},
+        {"t": 0.001, "type": "mark", "name": "arbiter.tick",
+         "cap_w": 1000.0, "budget_w": 250.0, "donors": 1},
+        {"t": 0.002, "type": "mark", "name": "job.end", "job": 0,
+         "node_offset": 0, "energy_j": 12.5},
+        {"t": 0.003, "type": "mark", "name": "job.end", "job": 1,
+         "node_offset": 2, "energy_j": 30.0},
+    ]
+    trace = chrome_trace(records)
+    events = trace["traceEvents"]
+    jobs = [e for e in events if e.get("cat") == "job"]
+    assert [e["name"] for e in jobs] == ["job@node0", "job@node2"]
+    # Distinct lanes, begin args merged with end args.
+    assert {e["tid"] for e in jobs} == {0, 1}
+    assert jobs[0]["dur"] == pytest.approx(2000.0)  # 2 ms in us
+    assert jobs[0]["args"]["ranks"] == 16
+    assert jobs[0]["args"]["energy_j"] == 12.5
+    counters = {e["name"] for e in events if e["ph"] == "C"}
+    assert {"arbiter_budget_w", "arbiter_donors"} <= counters
+    # The jobs process is named only when job lanes exist.
+    meta = [e for e in events if e["ph"] == "M" and e["pid"] == 4]
+    names = {e["args"]["name"] for e in meta}
+    assert {"jobs", "job@node0", "job@node2"} <= names

@@ -64,7 +64,9 @@ def test_put_get_round_trip(tmp_path):
     assert cache.get(key) is None  # cold
     cache.put(key, cell, result)
     assert cache.get(key) == result
-    assert cache.stats() == {"hits": 1, "misses": 1, "writes": 1}
+    assert cache.stats() == {
+        "hits": 1, "misses": 1, "writes": 1, "write_errors": 0,
+    }
 
 
 def test_entries_are_sharded_by_key_prefix(tmp_path):

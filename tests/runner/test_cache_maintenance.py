@@ -119,3 +119,106 @@ def test_contains_probe(tmp_path):
     assert not cache.contains("0" * 64)
     # contains() does not touch hit/miss accounting
     assert cache.hits == 0 and cache.misses == 0
+
+
+def test_contains_rejects_torn_entries_so_put_can_repair(tmp_path):
+    """A bare exists() would let a corrupt entry block the write-through
+    forever; the validity probe must read torn/truncated files as
+    absent, and a fresh put() must repair them."""
+    cache = ResultCache(tmp_path)
+    (key,) = _fill(cache, 1)
+    path = cache._path(key)
+    for torn in (b"", b"{torn", b"not json at all", b'{"key": "x"'):
+        path.write_bytes(torn)
+        assert not cache.contains(key), torn
+    cache.put(key, _cell(1024), _result())
+    assert cache.contains(key)
+    assert cache.get(key) is not None
+
+
+def test_put_failure_degrades_to_no_cache_and_is_counted(tmp_path):
+    """An unwritable store (here: the root path is taken by a regular
+    file, so no shard directory can ever be created) must degrade to
+    cache-off — counted in stats, never raised to the sweep."""
+    root = tmp_path / "occupied"
+    root.write_text("not a directory")
+    cache = ResultCache(root)
+    cell = _cell(1024)
+    for _ in range(2):
+        cache.put(cache_key(cell), cell, _result())
+    assert cache.writes == 0
+    assert cache.write_errors == 2
+    assert cache.stats()["write_errors"] == 2
+    assert not cache.probe_writable()
+
+
+def test_gc_precedence_property(tmp_path):
+    """Randomized mixes of corrupt / expired / fresh entries: gc must
+    always remove corrupt ones first (regardless of age), then expired
+    ones, then evict oldest-first only as far as the size budget needs
+    — and survivors are exactly the newest fresh entries."""
+    import random
+
+    rng = random.Random(7)
+    now = time.time()
+    for trial in range(5):
+        root = tmp_path / f"trial{trial}"
+        cache = ResultCache(root)
+        keys = _fill(cache, 8)
+        paths = [cache._path(k) for k in keys]
+        # Deterministic, distinct ages (newest-first by index).
+        for i, path in enumerate(paths):
+            mtime = now - 100.0 * (i + 1)
+            os.utime(path, (mtime, mtime))
+        labels = ["corrupt"] * 2 + ["expired"] * 2 + ["fresh"] * 4
+        rng.shuffle(labels)
+        by_label = {"corrupt": [], "expired": [], "fresh": []}
+        for path, label in zip(paths, labels):
+            by_label[label].append(path)
+            if label == "corrupt":
+                path.write_bytes(b"{torn")
+                os.utime(path, (now, now))  # corrupt beats being newest
+            elif label == "expired":
+                mtime = now - 10_000.0
+                os.utime(path, (mtime, mtime))
+        entry_size = max(p.stat().st_size for p in by_label["fresh"])
+        keep = rng.randint(0, 4)
+        report = cache.gc(
+            max_age_s=5000.0, max_size_bytes=keep * entry_size, now=now
+        )
+        assert report["removed"]["corrupt"] == 2
+        assert report["removed"]["expired"] == 2
+        assert report["removed"]["evicted"] == 4 - keep
+        assert report["kept"] == keep
+        survivors = {p for p in paths if p.exists()}
+        # Oldest-first eviction keeps the newest fresh entries (lowest
+        # index = newest mtime).
+        expected = set(sorted(
+            by_label["fresh"],
+            key=lambda p: p.stat().st_mtime if p.exists() else 0,
+            reverse=True,
+        )[:keep]) if keep else set()
+        assert survivors == expected
+
+
+def test_gc_tolerates_entries_vanishing_mid_scan(tmp_path):
+    """A concurrent gc/writer may unlink an entry between the directory
+    scan and the open/unlink: the sweep must neither throw nor
+    miscount."""
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, 3)
+    vanish = cache._path(keys[1])
+
+    class Racer(ResultCache):
+        def iter_entries(self):
+            for path, st in ResultCache.iter_entries(self):
+                if path == vanish and path.exists():
+                    os.unlink(path)  # the other process got there first
+                yield path, st
+
+    report = Racer(tmp_path).gc(max_age_s=1e9)
+    # The vanished entry is neither corrupt nor removed-by-us.
+    assert report["removed_total"] == 0
+    assert report["kept"] == 2
+    assert cache.get(keys[0]) is not None
+    assert cache.get(keys[2]) is not None

@@ -103,3 +103,50 @@ def test_execute_cell_with_faults_is_deterministic():
     second.pop("wall_time_s")
     assert first == second
     assert first["faults"] is not None
+
+
+def _multijob_cell(policy=None):
+    from repro.cluster.specs import ClusterSpec
+
+    params = {
+        "jobs": [
+            {"n_ranks": 16, "node_offset": 0, "op": "alltoall",
+             "nbytes": 64 << 10, "iterations": 2},
+            {"n_ranks": 16, "node_offset": 2, "op": "allreduce",
+             "nbytes": 1 << 10, "iterations": 2, "compute_s": 5e-3},
+        ],
+        "cluster": ClusterSpec.with_shape(
+            nodes=4, sockets=2, cores_per_socket=4
+        ).to_dict(),
+        "progress": "polling",
+    }
+    if policy is not None:
+        params["arbiter"] = {"policy": policy, "power_cap_w": 4 * 250.0}
+    return SweepCell("test", "multijob", params, label="two-jobs")
+
+
+def test_execute_multijob_cell_attributes_energy_exactly():
+    result = execute_cell(_multijob_cell(policy="redistribute"))
+    jobs = result.extra["jobs"]
+    assert len(jobs) == 2
+    assert jobs[0]["node_offset"] == 0 and jobs[1]["node_offset"] == 2
+    # Makespan is the slower job; per-job energy + residual = total.
+    assert result.duration_s == max(j["duration_s"] for j in jobs)
+    attributed = sum(j["energy_j"] for j in jobs)
+    assert attributed + result.extra["residual_energy_j"] == result.energy_j
+    assert result.arbiter is not None
+    assert result.arbiter["policy"] == "redistribute"
+
+
+def test_execute_multijob_cell_is_deterministic():
+    first = execute_cell(_multijob_cell(policy="redistribute")).to_dict()
+    second = execute_cell(_multijob_cell(policy="redistribute")).to_dict()
+    first.pop("wall_time_s")
+    second.pop("wall_time_s")
+    assert first == second
+
+
+def test_multijob_cell_without_arbiter_runs_uncapped():
+    result = execute_cell(_multijob_cell())
+    assert result.arbiter is None
+    assert result.duration_s > 0

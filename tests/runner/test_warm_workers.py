@@ -113,7 +113,7 @@ def _governed_faulted_cells():
         seed=7,
     ).to_dict()
     bare = [_collective(n, compute_s=200e-6) for n in (1 << 10, 4 << 10)]
-    cells, gov_idx, fault_idx = instrument_cells(bare, governor, faults)
+    cells, gov_idx, fault_idx, _ = instrument_cells(bare, governor, faults)
     assert gov_idx == (0, 1) and fault_idx == (0, 1)
     return cells
 
@@ -202,7 +202,7 @@ def test_plan_declared_configs_win_over_overlay():
                              theta_s=123e-6).to_dict()
     plan = plan_ext_governor_alltoall(sizes=(64 << 10,), iterations=1,
                                      n_ranks=16)
-    cells, gov_idx, _ = instrument_cells(plan.cells, overlay, None)
+    cells, gov_idx, _, _ = instrument_cells(plan.cells, overlay, None)
     for i, cell in enumerate(cells):
         if i in gov_idx:
             assert cell.params["governor"] == overlay

@@ -307,6 +307,70 @@ def test_cancelled_theta_timer_does_not_extend_bounded_run():
     assert job.env.now == max(finish)
 
 
+# -- finish_run penalty accounting (ISSUE regression) ------------------------
+def _run_parked(gov, spec, parked_ranks):
+    """Run a program where ``parked_ranks`` wait on a recv that never
+    arrives while everyone else computes past θ, then drain the engine:
+    the parked cores are still dropped when the run is sealed."""
+    job = MpiJob(RANKS, cluster_spec=spec, keep_segments=False, governor=gov)
+
+    def program(ctx):
+        if ctx.rank in parked_ranks:
+            yield from ctx.recv((ctx.rank + 1) % RANKS)  # never matched
+        else:
+            yield from ctx.compute(5e-3)
+
+    for ctx in job.contexts:
+        job.env.process(program(ctx))
+    job.env.run()
+    return job
+
+
+def test_finish_run_charges_restore_penalty_core_granularity():
+    """A program ending mid-drop must charge the same Odvfs/Othrottle an
+    in-run restore pays — finish_run used to restore silently, so traces
+    ending inside a wait under-reported penalty seconds."""
+    spec = ClusterSpec.with_shape(
+        nodes=2, sockets=2, cores_per_socket=4,
+        granularity=ThrottleGranularity.CORE,
+    )
+    gov = Governor(GovernorConfig(
+        policy=GovernorPolicy.COUNTDOWN, theta_s=100e-6, drop_to_fmin=True,
+    ))
+    job = _run_parked(gov, spec, parked_ranks={0})
+    assert gov.drops == 1 and gov.restores == 0
+    assert gov.penalty_s == 0.0
+
+    core = job.affinity.core_of(0)
+    report = gov.finish_run()
+    assert report.restores == report.drops == 1
+    # Exactly one throttle-up plus one DVFS ramp, nothing double-charged.
+    assert report.penalty_s == pytest.approx(
+        core.spec.throttle_latency_s + core.spec.dvfs_latency_s
+    )
+    # And the cluster ends clean despite the torn program.
+    assert core.tstate == T_FULL
+    assert core.frequency_ghz == core.spec.fmax
+
+
+def test_finish_run_charges_throttled_socket_once():
+    """Socket granularity: the force-restore claims each still-throttled
+    socket exactly once (one Othrottle for the 4 dropped cores), the way
+    wait_end does."""
+    gov = Governor(GovernorConfig(policy=GovernorPolicy.COUNTDOWN, theta_s=100e-6))
+    job = _run_parked(gov, SPEC, parked_ranks={0, 1, 2, 3})
+    report_before = gov.report()
+    assert report_before.drops == 4
+    assert report_before.socket_throttles == 1
+
+    core = job.affinity.core_of(0)
+    report = gov.finish_run()
+    assert report.restores == report.drops == 4
+    assert report.penalty_s == pytest.approx(core.spec.throttle_latency_s)
+    for rank in range(4):
+        assert job.affinity.core_of(rank).tstate == T_FULL
+
+
 def test_merge_reports_empty_is_none():
     assert merge_reports([]) is None
 

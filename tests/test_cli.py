@@ -156,6 +156,28 @@ def test_faults_runs_are_reproducible():
     assert a == b
 
 
+# -- power-budget arbiter flags ----------------------------------------------
+def test_arbiter_requires_power_cap():
+    with pytest.raises(SystemExit, match="--arbiter requires --power-cap"):
+        run_cli("osu", "alltoall", "--size", "4K", "--arbiter", "redistribute")
+
+
+def test_power_cap_must_be_positive():
+    with pytest.raises(SystemExit, match="positive wattage"):
+        run_cli("osu", "alltoall", "--size", "4K", "--power-cap", "-100")
+
+
+def test_power_cap_end_to_end_prints_arbiter_summary():
+    # 2000 W over the default 8-node testbed = 250 W/node: binding.
+    code, text = run_cli(
+        "osu", "alltoall", "--size", "16K", "--ranks", "16",
+        "--power-cap", "2000", "--no-cache",
+    )
+    assert code == 0
+    assert "arbiter[uniform @ 2000 W]" in text
+    assert "freq changes" in text
+
+
 # -- observability surface (repro.obs) ---------------------------------------
 def test_metrics_flag_writes_snapshot(tmp_path, monkeypatch):
     import json
